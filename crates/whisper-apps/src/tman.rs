@@ -1,0 +1,219 @@
+//! A generic T-Man view (Jelasity et al. \[12\]): gossip-based overlay
+//! topology construction driven by a ranking function.
+//!
+//! T-Man maintains, per node, a bounded view of peer descriptors ordered
+//! by a problem-specific *ranking*. Each cycle a node exchanges its best
+//! descriptors with a well-ranked partner and keeps the best of the
+//! union; with an appropriate ranking the views converge in a few cycles
+//! to the target topology (a ring for T-Chord, a sorted list for GosSkip,
+//! and so on).
+//!
+//! The ranking is supplied per call: it usually depends on the local
+//! node's own position (e.g. ring distance from the local Chord key).
+
+use whisper_net::NodeId;
+
+/// A peer descriptor usable in a T-Man view.
+pub trait Descriptor: Clone {
+    /// The node this descriptor names (views are deduplicated by node).
+    fn node(&self) -> NodeId;
+}
+
+/// A bounded, ranking-ordered view of descriptors.
+#[derive(Clone, Debug)]
+pub struct TManView<D: Descriptor> {
+    entries: Vec<D>,
+    cap: usize,
+}
+
+impl<D: Descriptor> TManView<D> {
+    /// Creates an empty view bounded to `cap` descriptors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "T-Man view capacity must be positive");
+        TManView { entries: Vec::new(), cap }
+    }
+
+    /// The current descriptors, best-ranked first (after the last merge).
+    pub fn entries(&self) -> &[D] {
+        &self.entries
+    }
+
+    /// Number of descriptors held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether a descriptor for `node` is present.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.entries.iter().any(|d| d.node() == node)
+    }
+
+    /// Removes the descriptor for `node` (e.g. it was detected dead).
+    pub fn remove(&mut self, node: NodeId) {
+        self.entries.retain(|d| d.node() != node);
+    }
+
+    /// Merges `incoming` descriptors, deduplicates by node (an incoming
+    /// descriptor replaces a held one for the same node), ranks with
+    /// `rank` (smaller is better) and truncates to capacity.
+    ///
+    /// `me` is always excluded.
+    pub fn merge(&mut self, incoming: impl IntoIterator<Item = D>, me: NodeId, rank: impl Fn(&D) -> u64) {
+        for d in incoming {
+            if d.node() == me {
+                continue;
+            }
+            match self.entries.iter_mut().find(|e| e.node() == d.node()) {
+                Some(existing) => *existing = d,
+                None => self.entries.push(d),
+            }
+        }
+        self.entries
+            .sort_by_key(|d| (rank(d), d.node()));
+        self.entries.truncate(self.cap);
+    }
+
+    /// The best `len` descriptors to ship to a partner (T-Man ships its
+    /// best candidates so the partner's view improves fastest).
+    pub fn buffer(&self, len: usize) -> Vec<D> {
+        self.entries.iter().take(len).cloned().collect()
+    }
+
+    /// The best-ranked descriptor.
+    pub fn best(&self) -> Option<&D> {
+        self.entries.first()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Item {
+        node: NodeId,
+        value: u64,
+    }
+
+    impl Descriptor for Item {
+        fn node(&self) -> NodeId {
+            self.node
+        }
+    }
+
+    fn item(node: u64, value: u64) -> Item {
+        Item { node: NodeId(node), value }
+    }
+
+    #[test]
+    fn merge_ranks_and_truncates() {
+        let mut v = TManView::new(3);
+        v.merge(
+            vec![item(1, 50), item(2, 10), item(3, 30), item(4, 20)],
+            NodeId(0),
+            |d| d.value,
+        );
+        let nodes: Vec<u64> = v.entries().iter().map(|d| d.node.0).collect();
+        assert_eq!(nodes, vec![2, 4, 3], "ranked ascending, capped at 3");
+    }
+
+    #[test]
+    fn merge_replaces_per_node() {
+        let mut v = TManView::new(4);
+        v.merge(vec![item(1, 50)], NodeId(0), |d| d.value);
+        v.merge(vec![item(1, 5)], NodeId(0), |d| d.value);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v.best().unwrap().value, 5);
+    }
+
+    #[test]
+    fn self_excluded() {
+        let mut v = TManView::new(4);
+        v.merge(vec![item(7, 1)], NodeId(7), |d| d.value);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn buffer_ships_best() {
+        let mut v = TManView::new(10);
+        v.merge((0..8).map(|i| item(i, 100 - i)), NodeId(99), |d| d.value);
+        let buf = v.buffer(2);
+        assert_eq!(buf.len(), 2);
+        assert!(buf[0].value <= buf[1].value);
+    }
+
+    #[test]
+    fn remove_and_contains() {
+        let mut v = TManView::new(4);
+        v.merge(vec![item(1, 1), item(2, 2)], NodeId(0), |d| d.value);
+        assert!(v.contains(NodeId(1)));
+        v.remove(NodeId(1));
+        assert!(!v.contains(NodeId(1)));
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn converges_to_target_topology() {
+        // Simulate T-Man convergence to a sorted line: 20 nodes with
+        // random values; ranking = |value - mine|. After a few rounds of
+        // all-pairs gossip each node's two best entries are its true
+        // line neighbours.
+        let values: Vec<u64> = vec![
+            55, 3, 78, 12, 91, 44, 67, 23, 88, 5, 31, 72, 19, 60, 97, 8, 40, 83, 27, 50,
+        ];
+        let n = values.len();
+        let mut views: Vec<TManView<Item>> = (0..n).map(|_| TManView::new(4)).collect();
+        // Bootstrap: everyone knows node 0.
+        for i in 1..n {
+            views[i].merge(vec![item(0, values[0])], NodeId(i as u64), |d| {
+                d.value.abs_diff(values[i])
+            });
+            views[0].merge(vec![item(i as u64, values[i])], NodeId(0), |d| {
+                d.value.abs_diff(values[0])
+            });
+        }
+        for round in 0..20 {
+            for i in 0..n {
+                // Alternate ranked and random partners, as T-Man does to
+                // avoid local optima.
+                let partner = if round % 2 == 0 {
+                    views[i].best().map(|d| d.node().0 as usize)
+                } else {
+                    Some((i + round + 3) % n)
+                };
+                let Some(partner) = partner.filter(|p| *p != i) else {
+                    continue;
+                };
+                let mut mine = views[i].buffer(4);
+                mine.push(item(i as u64, values[i]));
+                let mut theirs = views[partner].buffer(4);
+                theirs.push(item(partner as u64, values[partner]));
+                views[partner].merge(mine, NodeId(partner as u64), |d| {
+                    d.value.abs_diff(values[partner])
+                });
+                views[i].merge(theirs, NodeId(i as u64), |d| d.value.abs_diff(values[i]));
+            }
+        }
+        // Check: each node's best entry is its true nearest neighbour.
+        let mut correct = 0;
+        for i in 0..n {
+            let true_nearest = (0..n)
+                .filter(|j| *j != i)
+                .min_by_key(|j| values[*j].abs_diff(values[i]))
+                .unwrap();
+            if views[i].best().map(|d| d.node().0) == Some(true_nearest as u64) {
+                correct += 1;
+            }
+        }
+        assert!(correct >= n - 2, "{correct}/{n} nodes found their neighbour");
+    }
+}

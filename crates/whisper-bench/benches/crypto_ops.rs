@@ -1,0 +1,120 @@
+//! Micro-benchmarks of the cryptographic substrate: the primitives whose
+//! costs drive Table II and the Fig. 7 breakdown.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use whisper_crypto::aes::{Aes128, AesKey, CtrNonce};
+use whisper_crypto::onion::{build_onion, peel, PeelResult};
+use whisper_crypto::rsa::{KeyPair, RsaKeySize};
+use whisper_crypto::sha256::Sha256;
+
+fn bench_rsa(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rsa");
+    group.sample_size(10);
+    for size in [RsaKeySize::Sim384, RsaKeySize::Std1024] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let kp = KeyPair::generate(size, &mut rng);
+        let msg = vec![7u8; 24];
+        let ct = kp.public().encrypt(&msg, &mut rng).unwrap();
+        let sig = kp.sign(&msg);
+
+        group.bench_function(format!("keygen/{}", size.bits()), |b| {
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| KeyPair::generate(size, &mut rng))
+        });
+        group.bench_function(format!("encrypt/{}", size.bits()), |b| {
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| kp.public().encrypt(&msg, &mut rng).unwrap())
+        });
+        group.bench_function(format!("decrypt/{}", size.bits()), |b| {
+            b.iter(|| kp.decrypt(&ct).unwrap())
+        });
+        group.bench_function(format!("sign/{}", size.bits()), |b| b.iter(|| kp.sign(&msg)));
+        group.bench_function(format!("verify/{}", size.bits()), |b| {
+            b.iter(|| kp.public().verify(&msg, &sig).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_aes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aes128_ctr");
+    let mut rng = StdRng::seed_from_u64(4);
+    let cipher = Aes128::new(&AesKey::random(&mut rng));
+    let nonce = CtrNonce::random(&mut rng);
+    for size in [64usize, 1024, 20 * 1024] {
+        let data = vec![0xABu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("{size}B"), |b| b.iter(|| cipher.ctr_apply(&nonce, &data)));
+    }
+    group.finish();
+}
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for size in [64usize, 4096] {
+        let data = vec![0x5Au8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("{size}B"), |b| b.iter(|| Sha256::digest(&data)));
+    }
+    group.finish();
+}
+
+/// The WCL hot path: building a 4-node onion (S → A → B → D, i.e. 3
+/// sealed layers) and peeling one layer at a mix.
+fn bench_onion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("onion");
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(5);
+    let keys: Vec<KeyPair> =
+        (0..3).map(|_| KeyPair::generate(RsaKeySize::Sim384, &mut rng)).collect();
+    let path: Vec<_> = keys
+        .iter()
+        .enumerate()
+        .map(|(i, k)| (k.public().clone(), vec![i as u8; 9]))
+        .collect();
+    let payload = vec![0u8; 4096]; // a PPSS view exchange sized body
+
+    group.bench_function("build_3_layers", |b| {
+        let mut rng = StdRng::seed_from_u64(6);
+        b.iter(|| build_onion(&path, &payload, &mut rng).unwrap())
+    });
+    group.bench_function("peel_one_layer", |b| {
+        let mut rng = StdRng::seed_from_u64(7);
+        b.iter_batched(
+            || build_onion(&path, &payload, &mut rng).unwrap(),
+            |packet| {
+                let PeelResult::Relay { .. } = peel(&keys[0], &packet.header).unwrap() else {
+                    panic!("first hop relays")
+                };
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_bignum(c: &mut Criterion) {
+    use whisper_crypto::bignum::BigUint;
+    let mut group = c.benchmark_group("bignum");
+    let mut rng = StdRng::seed_from_u64(8);
+    for limbs in [8usize, 16, 32, 64] {
+        let bytes_a: Vec<u8> = (0..limbs * 8).map(|_| rand::Rng::gen(&mut rng)).collect();
+        let bytes_b: Vec<u8> = (0..limbs * 8).map(|_| rand::Rng::gen(&mut rng)).collect();
+        let a = BigUint::from_bytes_be(&bytes_a);
+        let b = BigUint::from_bytes_be(&bytes_b);
+        // `mul` dispatches to Karatsuba above the 16-limb threshold.
+        group.bench_function(format!("mul/{}bit", limbs * 64), |bench| {
+            bench.iter(|| a.mul(&b))
+        });
+        group.bench_function(format!("div_rem/{}bit", limbs * 64), |bench| {
+            let d = BigUint::from_bytes_be(&bytes_b[..limbs * 4]);
+            bench.iter(|| a.div_rem(&d))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rsa, bench_aes, bench_sha256, bench_onion, bench_bignum);
+criterion_main!(benches);

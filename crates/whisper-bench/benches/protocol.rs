@@ -1,0 +1,138 @@
+//! Micro-benchmarks of the protocol machinery: wire codec, view merge,
+//! and raw simulator event throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use whisper_net::nat::NatType;
+use whisper_net::sim::{Ctx, Protocol, Sim, SimConfig};
+use whisper_net::wire::{WireDecode, WireEncode};
+use whisper_net::{Endpoint, NodeId, SimDuration};
+use whisper_pss::messages::NylonMsg;
+use whisper_pss::view::{View, ViewEntry};
+
+fn sample_entries(n: usize) -> Vec<ViewEntry> {
+    (0..n as u64)
+        .map(|i| ViewEntry {
+            node: NodeId(i),
+            age: (i % 17) as u16,
+            public: i % 3 == 0,
+            route: vec![NodeId(i + 100), NodeId(i + 200)],
+        })
+        .collect()
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire");
+    let msg = NylonMsg::GossipReq {
+        sender: NodeId(1),
+        sender_public: true,
+        entries: sample_entries(5),
+        key: Some(vec![0xAB; 52]),
+    };
+    let bytes = msg.to_wire();
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("encode_gossip_req", |b| b.iter(|| msg.to_wire()));
+    group.bench_function("decode_gossip_req", |b| {
+        b.iter(|| NylonMsg::from_wire(&bytes).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_view_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("view");
+    for pi in [0usize, 3] {
+        group.bench_function(format!("merge_pi{pi}"), |b| {
+            b.iter(|| {
+                let mut v = View::new();
+                for e in sample_entries(10) {
+                    v.insert(e);
+                }
+                v.merge(sample_entries(6), NodeId(999), 10, pi, true);
+                v
+            })
+        });
+    }
+    group.finish();
+}
+
+/// A node that fires messages at a partner as fast as timers allow —
+/// measures raw engine throughput (events/second of wall time).
+struct Flooder {
+    target: Option<Endpoint>,
+    received: u64,
+}
+
+impl Protocol for Flooder {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.set_timer(SimDuration::from_millis(1), 1);
+    }
+    fn on_message(&mut self, _ctx: &mut Ctx<'_>, _f: NodeId, _e: Endpoint, _d: &[u8]) {
+        self.received += 1;
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if let Some(t) = self.target {
+            ctx.send_to(t, vec![0u8; 64]);
+        }
+        ctx.set_timer(SimDuration::from_millis(1), token);
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+fn bench_sim_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim");
+    group.sample_size(10);
+    group.bench_function("10_nodes_1s_storm", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(SimConfig::ideal(1));
+            let sink = sim.add_node(
+                Box::new(Flooder { target: None, received: 0 }),
+                NatType::Public,
+            );
+            for _ in 0..9 {
+                sim.add_node(
+                    Box::new(Flooder { target: Some(Endpoint::public(sink)), received: 0 }),
+                    NatType::Public,
+                );
+            }
+            sim.run_for_secs(1); // ≈ 9,000 messages + 10,000 timers
+            sim.metrics().traffic(sink).down_msgs
+        })
+    });
+    group.finish();
+}
+
+fn bench_gossip_cycle(c: &mut Criterion) {
+    use whisper_crypto::rsa::KeyPair;
+    use whisper_pss::{NylonConfig, NylonCore, NylonNode};
+    let mut group = c.benchmark_group("pss");
+    group.sample_size(10);
+    group.bench_function("50_nodes_10_cycles", |b| {
+        let mut keyrng = StdRng::seed_from_u64(9);
+        let cfg = NylonConfig::default();
+        let keys: Vec<KeyPair> =
+            (0..50).map(|_| KeyPair::generate(cfg.rsa, &mut keyrng)).collect();
+        b.iter(|| {
+            let mut sim = Sim::new(SimConfig::cluster(9));
+            for (i, key) in keys.iter().enumerate() {
+                let mut core = NylonCore::new(cfg.clone(), key.clone());
+                if i > 0 {
+                    core.set_bootstrap(vec![NodeId(0)]);
+                }
+                let nat = if i == 0 { NatType::Public } else { NatType::RestrictedCone };
+                sim.add_node(Box::new(NylonNode::new(core)), nat);
+            }
+            sim.run_for_secs(100);
+            sim.metrics().counter("pss.gossip_completed")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_wire, bench_view_merge, bench_sim_engine, bench_gossip_cycle);
+criterion_main!(benches);

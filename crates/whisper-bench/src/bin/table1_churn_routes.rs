@@ -1,0 +1,9 @@
+//! Binary wrapper; see `whisper_bench::experiments::table1`.
+//! Pass `--quick` for a fast smoke-test configuration.
+
+use whisper_bench::experiments::{self, table1};
+
+fn main() {
+    let params = if experiments::quick_flag() { table1::Params::quick() } else { table1::Params::paper() };
+    table1::run(&params);
+}

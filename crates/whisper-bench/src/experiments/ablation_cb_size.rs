@@ -1,0 +1,114 @@
+//! Ablation — connection backlog sizing. The paper fixes the CB at 2 × c
+//! entries, arguing entries then stay far younger than NAT association
+//! leases. This ablation sweeps the factor under churn and measures route
+//! success.
+
+use crate::harness::NetBuilder;
+use crate::report;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use whisper_net::NodeId;
+
+/// Experiment parameters.
+#[derive(Clone, Debug)]
+pub struct Params {
+    /// Population size.
+    pub nodes: usize,
+    /// Number of private groups.
+    pub groups: usize,
+    /// CB capacity factors to sweep (CB = factor × c; the paper uses 2).
+    pub cb_factors: Vec<usize>,
+    /// Churn rate in %/min during the measurement window.
+    pub churn_percent: f64,
+    /// Warm-up seconds.
+    pub warmup: u64,
+    /// Measured (churned) seconds.
+    pub measure: u64,
+    /// Engine seed.
+    pub seed: u64,
+}
+
+impl Params {
+    /// Default configuration.
+    pub fn paper() -> Self {
+        Params {
+            nodes: 300,
+            groups: 6,
+            cb_factors: vec![1, 2, 4],
+            churn_percent: 1.0,
+            warmup: 350,
+            measure: 480,
+            seed: 13,
+        }
+    }
+
+    /// A fast smoke-test configuration.
+    pub fn quick() -> Self {
+        Params { nodes: 120, groups: 3, measure: 240, ..Params::paper() }
+    }
+}
+
+/// Runs the ablation.
+pub fn run(params: &Params) {
+    report::banner(
+        "Ablation: connection backlog size",
+        "CB = factor × c under churn — route success sensitivity",
+    );
+    println!(
+        "{:<10} {:>12} {:>10} {:>10} {:>12}",
+        "cb_factor", "success %", "alt %", "no-alt %", "routes"
+    );
+    for &factor in &params.cb_factors {
+        let mut builder = NetBuilder::cluster(params.nodes, params.seed);
+        builder.whisper.nylon.cb_factor = factor;
+        let mut net = builder.build_whisper(|_| Box::new(whisper_core::node::NoApp));
+        net.sim.run_for_secs(params.warmup);
+        let leaders: Vec<NodeId> = net.publics().into_iter().take(params.groups).collect();
+        let groups = net.create_groups(&leaders, "ablcb");
+        net.subscribe_members(&leaders, &groups, 1, params.seed ^ 0x13);
+        net.sim.run_for_secs(params.warmup);
+        net.sim.metrics_mut().reset_counters_and_samples();
+
+        let mut key_rng = StdRng::seed_from_u64(params.seed ^ 0xCB);
+        let mut group_rng = StdRng::seed_from_u64(params.seed ^ 0xCB1);
+        let leaves_per_min =
+            (params.nodes as f64 * params.churn_percent / 100.0).round() as usize;
+        let mut protected: Vec<NodeId> = leaders.clone();
+        protected.extend((0..net.builder.bootstraps as u64).map(NodeId));
+        for _minute in 0..params.measure / 60 {
+            net.sim.run_for_secs(60);
+            for _ in 0..leaves_per_min {
+                let candidates: Vec<NodeId> = net
+                    .live()
+                    .into_iter()
+                    .filter(|id| !protected.contains(id))
+                    .collect();
+                if candidates.is_empty() {
+                    break;
+                }
+                let victim = candidates[net.sim.rng().gen_range(0..candidates.len())];
+                net.sim.remove_node(victim);
+            }
+            for _ in 0..leaves_per_min {
+                let gi = group_rng.gen_range(0..groups.len());
+                net.spawn_node(&mut key_rng, Some((leaders[gi], groups[gi])));
+            }
+        }
+        net.sim.run_for_secs(30);
+
+        let m = net.sim.metrics();
+        let first = m.counter("wcl.route_first_success");
+        let alt = m.counter("wcl.route_alt_success");
+        let no_alt = m.counter("wcl.route_no_alt");
+        let total = (first + alt + no_alt).max(1);
+        println!(
+            "{:<10} {:>11.2}% {:>9.2}% {:>9.2}% {:>12}",
+            factor,
+            first as f64 / total as f64 * 100.0,
+            alt as f64 / total as f64 * 100.0,
+            no_alt as f64 / total as f64 * 100.0,
+            total
+        );
+    }
+    println!("(expected: small CBs limit first-mix choice and hurt success; 2×c is comfortable)");
+}

@@ -1,0 +1,99 @@
+//! Ablation — onion path length. The paper (§III-A, footnote 2) notes
+//! that using `f` mixes tolerates `f − 1` colluding mixes; this ablation
+//! measures what longer paths cost in exchange latency, route success and
+//! bandwidth.
+
+use crate::harness::NetBuilder;
+use crate::report;
+use whisper_net::stats::Cdf;
+use whisper_net::NodeId;
+
+/// Experiment parameters.
+#[derive(Clone, Debug)]
+pub struct Params {
+    /// Population size.
+    pub nodes: usize,
+    /// Number of private groups.
+    pub groups: usize,
+    /// Mix counts to sweep (2 = the paper's `S → A → B → D`).
+    pub mixes: Vec<usize>,
+    /// Warm-up seconds.
+    pub warmup: u64,
+    /// Measured seconds.
+    pub measure: u64,
+    /// Engine seed.
+    pub seed: u64,
+}
+
+impl Params {
+    /// Default configuration.
+    pub fn paper() -> Self {
+        Params {
+            nodes: 300,
+            groups: 6,
+            mixes: vec![2, 3, 4],
+            warmup: 350,
+            measure: 300,
+            seed: 12,
+        }
+    }
+
+    /// A fast smoke-test configuration.
+    pub fn quick() -> Self {
+        Params { nodes: 120, groups: 3, mixes: vec![2, 3], measure: 180, ..Params::paper() }
+    }
+}
+
+/// Runs the ablation.
+pub fn run(params: &Params) {
+    report::banner(
+        "Ablation: path length",
+        "f mixes tolerate f−1 colluding mixes — at what cost?",
+    );
+    println!(
+        "{:<8} {:>12} {:>12} {:>12} {:>14} {:>14}",
+        "mixes", "rtt p50 (s)", "rtt p90 (s)", "success %", "KB/exchange", "exchanges"
+    );
+    for &mixes in &params.mixes {
+        let mut builder = NetBuilder::cluster(params.nodes, params.seed);
+        builder.whisper.wcl.mixes = mixes;
+        let mut net = builder.build_whisper(|_| Box::new(whisper_core::node::NoApp));
+        net.sim.run_for_secs(params.warmup);
+        let leaders: Vec<NodeId> = net.publics().into_iter().take(params.groups).collect();
+        let groups = net.create_groups(&leaders, "ablpath");
+        net.subscribe_members(&leaders, &groups, 1, params.seed ^ 0x12);
+        net.sim.run_for_secs(params.warmup);
+        let before = net.sim.metrics().traffic_snapshot();
+        net.sim.metrics_mut().reset_counters_and_samples();
+        net.sim.run_for_secs(params.measure);
+        let after = net.sim.metrics().traffic_snapshot();
+
+        let m = net.sim.metrics();
+        let mut rtt = Cdf::from_samples(m.samples("wcl.rtt_s").iter().copied());
+        let first = m.counter("wcl.route_first_success");
+        let alt = m.counter("wcl.route_alt_success");
+        let fails = m.counter("wcl.route_no_alt") + m.counter("wcl.route_exhausted");
+        let total = (first + alt + fails).max(1);
+        let success = (first + alt) as f64 / total as f64 * 100.0;
+        let bytes: u64 = whisper_net::metrics::traffic_delta(&before, &after)
+            .values()
+            .map(|t| t.up_bytes)
+            .sum();
+        let exchanges = m.counter("ppss.exchanges_completed").max(1);
+        let (p50, p90) = if rtt.is_empty() {
+            (f64::NAN, f64::NAN)
+        } else {
+            (rtt.median(), rtt.percentile(90.0))
+        };
+        println!(
+            "{:<8} {:>12.3} {:>12.3} {:>12.2} {:>14.2} {:>14}",
+            mixes,
+            p50,
+            p90,
+            success,
+            bytes as f64 / exchanges as f64 / 1024.0,
+            exchanges
+        );
+    }
+    println!("(expected: latency and bandwidth grow with path length; success dips slightly)");
+}

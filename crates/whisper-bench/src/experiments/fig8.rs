@@ -1,0 +1,90 @@
+//! Fig. 8 — Network bandwidth as a function of the number of private
+//! groups each node subscribes to.
+//!
+//! Paper setting: 400 nodes on PlanetLab, 120 private groups (each P-node
+//! creates and leads one), subscriptions per node swept over
+//! {1, 2, 4, 8, 16, 32}; results shown as stacked percentiles
+//! (5/25/50/75/90) of upload and download bandwidth, split by node class.
+
+use crate::harness::NetBuilder;
+use crate::report;
+use whisper_net::metrics::traffic_delta;
+use whisper_net::stats::Cdf;
+use whisper_net::NodeId;
+
+/// Experiment parameters.
+#[derive(Clone, Debug)]
+pub struct Params {
+    /// Population size.
+    pub nodes: usize,
+    /// Groups-per-node values to sweep.
+    pub subscriptions: Vec<usize>,
+    /// Warm-up seconds.
+    pub warmup: u64,
+    /// Number of measured PPSS cycles.
+    pub cycles: u64,
+    /// Engine seed.
+    pub seed: u64,
+}
+
+impl Params {
+    /// The paper's configuration.
+    pub fn paper() -> Self {
+        Params {
+            nodes: 400,
+            subscriptions: vec![1, 2, 4, 8, 16, 32],
+            warmup: 400,
+            cycles: 5,
+            seed: 10,
+        }
+    }
+
+    /// A fast smoke-test configuration.
+    pub fn quick() -> Self {
+        Params { nodes: 120, subscriptions: vec![1, 4], cycles: 3, ..Params::paper() }
+    }
+}
+
+/// Runs the experiment and prints Fig. 8-style output.
+pub fn run(params: &Params) {
+    report::banner(
+        "Figure 8",
+        "bandwidth vs. number of private groups subscribed per node (PlanetLab)",
+    );
+    for &per_node in &params.subscriptions {
+        let mut net = NetBuilder::planetlab(params.nodes, params.seed)
+            .build_whisper(|_| Box::new(whisper_core::node::NoApp));
+        net.sim.run_for_secs(params.warmup);
+        // Every P-node creates (and leads) one private group, as in the
+        // paper's 120-groups-over-400-nodes setup.
+        let leaders = net.publics();
+        let groups = net.create_groups(&leaders, "fig8");
+        net.subscribe_members(&leaders, &groups, per_node, params.seed ^ per_node as u64);
+        net.sim.run_for_secs(params.warmup);
+
+        let before = net.sim.metrics().traffic_snapshot();
+        net.sim.run_for_secs(params.cycles * 60);
+        let after = net.sim.metrics().traffic_snapshot();
+        let delta = traffic_delta(&before, &after);
+        let secs = (params.cycles * 60) as f64;
+
+        let collect = |ids: &[NodeId], up: bool| -> Cdf {
+            Cdf::from_samples(ids.iter().filter_map(|id| delta.get(id)).map(|t| {
+                (if up { t.up_bytes } else { t.down_bytes }) as f64 / secs / 1024.0
+            }))
+        };
+        report::section(&format!(
+            "{per_node} group(s) per node — {} groups total, KB/s over {} cycles",
+            groups.len(),
+            params.cycles
+        ));
+        let publics = net.publics();
+        let natted = net.natted();
+        report::stacked("P-nodes up (KB/s)", &mut collect(&publics, true));
+        report::stacked("P-nodes down (KB/s)", &mut collect(&publics, false));
+        report::stacked("N-nodes up (KB/s)", &mut collect(&natted, true));
+        report::stacked("N-nodes down (KB/s)", &mut collect(&natted, false));
+    }
+    println!();
+    println!("(paper: costs grow linearly with subscriptions; P-nodes pay more, both within reasonable values)");
+}

@@ -1,0 +1,18 @@
+//! One module per paper table/figure; each exposes `run(params)` plus a
+//! `Params` type with `paper()` (full scale) and `quick()` (smoke test)
+//! constructors. The binaries in `src/bin/` are thin wrappers.
+
+pub mod ablation_cb_size;
+pub mod ablation_path_length;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;
+pub mod table2;
+
+/// Reads `--quick` from the process arguments.
+pub fn quick_flag() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}

@@ -1,0 +1,203 @@
+//! Private group identities, accreditations, passports and invitations
+//! (paper §IV-A).
+//!
+//! A group has a public/private key pair: every member knows the public
+//! key (and the history of past keys after leader changes), while only
+//! leaders hold the private key. A **passport** is the member's node
+//! identifier signed with the group's private key; it accompanies all
+//! intra-group traffic, and messages with invalid passports are silently
+//! ignored — which is what keeps memberships invisible to non-members. An
+//! **accreditation** is a temporary token a prospective member presents
+//! to a leader when joining.
+
+use crate::ppss::messages::PrivateEntry;
+use whisper_crypto::rsa::{KeyPair, PublicKey};
+use whisper_crypto::sha256::Sha256;
+use whisper_net::wire::{WireDecode, WireEncode, WireError, WireReader, WireWriter};
+use whisper_net::NodeId;
+
+/// Identifier of a private group (derived from its name; the name itself
+/// never travels on the wire).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GroupId(pub u64);
+
+impl std::fmt::Debug for GroupId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "g{:016x}", self.0)
+    }
+}
+
+impl GroupId {
+    /// Derives the identifier from a human-readable group name.
+    pub fn from_name(name: &str) -> GroupId {
+        let digest = Sha256::digest(name.as_bytes());
+        GroupId(u64::from_be_bytes(digest[..8].try_into().expect("8 bytes")))
+    }
+}
+
+impl WireEncode for GroupId {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u64(self.0);
+    }
+}
+
+impl WireDecode for GroupId {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(GroupId(r.take_u64()?))
+    }
+}
+
+fn passport_message(group: GroupId, node: NodeId) -> Vec<u8> {
+    let mut m = b"whisper-passport".to_vec();
+    m.extend_from_slice(&group.0.to_be_bytes());
+    m.extend_from_slice(&node.to_bytes());
+    m
+}
+
+fn accreditation_message(group: GroupId, node: NodeId) -> Vec<u8> {
+    let mut m = b"whisper-accredit".to_vec();
+    m.extend_from_slice(&group.0.to_be_bytes());
+    m.extend_from_slice(&node.to_bytes());
+    m
+}
+
+/// A member's proof of membership: its node id signed with the group's
+/// private key.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Passport {
+    /// The member.
+    pub node: NodeId,
+    /// Signature over the passport message by a group private key.
+    pub signature: Vec<u8>,
+}
+
+impl Passport {
+    /// Issues a passport for `node` (leader operation).
+    pub fn issue(group_key: &KeyPair, group: GroupId, node: NodeId) -> Passport {
+        Passport { node, signature: group_key.sign(&passport_message(group, node)) }
+    }
+
+    /// Verifies against the group key history (any current or past group
+    /// key makes the passport valid, per §IV-A).
+    pub fn verify(&self, group: GroupId, history: &[PublicKey]) -> bool {
+        let msg = passport_message(group, self.node);
+        history.iter().any(|k| k.verify(&msg, &self.signature).is_ok())
+    }
+}
+
+impl WireEncode for Passport {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put(&self.node);
+        w.put_bytes(&self.signature);
+    }
+}
+
+impl WireDecode for Passport {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Passport { node: r.take()?, signature: r.take_bytes()?.to_vec() })
+    }
+}
+
+/// Issues a joining accreditation for `node` (leader operation).
+pub fn issue_accreditation(group_key: &KeyPair, group: GroupId, node: NodeId) -> Vec<u8> {
+    group_key.sign(&accreditation_message(group, node))
+}
+
+/// Verifies an accreditation against the group key history.
+pub fn verify_accreditation(
+    accreditation: &[u8],
+    group: GroupId,
+    node: NodeId,
+    history: &[PublicKey],
+) -> bool {
+    let msg = accreditation_message(group, node);
+    history.iter().any(|k| k.verify(&msg, accreditation).is_ok())
+}
+
+/// An invitation to join a private group, delivered out of band (the
+/// paper mentions web interfaces, instant messaging, email, or another
+/// application on the system-wide PSS).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Invitation {
+    /// The group to join.
+    pub group: GroupId,
+    /// The group's current public key.
+    pub group_key: PublicKey,
+    /// Signed accreditation for the invited node.
+    pub accreditation: Vec<u8>,
+    /// A member to contact for the join handshake (typically a leader).
+    pub entry_point: PrivateEntry,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use whisper_crypto::rsa::RsaKeySize;
+
+    fn group_key() -> KeyPair {
+        KeyPair::generate(RsaKeySize::Sim384, &mut StdRng::seed_from_u64(1))
+    }
+
+    #[test]
+    fn group_id_is_stable_and_distinct() {
+        let a = GroupId::from_name("alpha");
+        assert_eq!(a, GroupId::from_name("alpha"));
+        assert_ne!(a, GroupId::from_name("beta"));
+    }
+
+    #[test]
+    fn passport_round_trip_and_verification() {
+        let gk = group_key();
+        let g = GroupId::from_name("chat");
+        let p = Passport::issue(&gk, g, NodeId(7));
+        assert!(p.verify(g, &[gk.public().clone()]));
+        // Wire round trip preserves validity.
+        let parsed = Passport::from_wire(&p.to_wire()).unwrap();
+        assert!(parsed.verify(g, &[gk.public().clone()]));
+    }
+
+    #[test]
+    fn passport_invalid_for_other_group_or_node() {
+        let gk = group_key();
+        let g = GroupId::from_name("chat");
+        let p = Passport::issue(&gk, g, NodeId(7));
+        assert!(!p.verify(GroupId::from_name("other"), &[gk.public().clone()]));
+        let forged = Passport { node: NodeId(8), signature: p.signature.clone() };
+        assert!(!forged.verify(g, &[gk.public().clone()]));
+    }
+
+    #[test]
+    fn passport_valid_under_key_history() {
+        let old = group_key();
+        let new = KeyPair::generate(RsaKeySize::Sim384, &mut StdRng::seed_from_u64(2));
+        let g = GroupId::from_name("chat");
+        let p = Passport::issue(&old, g, NodeId(7));
+        let history = vec![old.public().clone(), new.public().clone()];
+        assert!(p.verify(g, &history), "old passports stay valid");
+        let p_new = Passport::issue(&new, g, NodeId(7));
+        assert!(p_new.verify(g, &history));
+        assert!(!p.verify(g, &[new.public().clone()]), "without history: invalid");
+    }
+
+    #[test]
+    fn accreditation_verification() {
+        let gk = group_key();
+        let g = GroupId::from_name("chat");
+        let acc = issue_accreditation(&gk, g, NodeId(9));
+        assert!(verify_accreditation(&acc, g, NodeId(9), &[gk.public().clone()]));
+        assert!(!verify_accreditation(&acc, g, NodeId(10), &[gk.public().clone()]));
+        assert!(!verify_accreditation(b"junk", g, NodeId(9), &[gk.public().clone()]));
+    }
+
+    #[test]
+    fn passport_and_accreditation_domains_are_separate() {
+        // An accreditation must not double as a passport.
+        let gk = group_key();
+        let g = GroupId::from_name("chat");
+        let acc = issue_accreditation(&gk, g, NodeId(9));
+        let fake = Passport { node: NodeId(9), signature: acc };
+        assert!(!fake.verify(g, &[gk.public().clone()]));
+    }
+}

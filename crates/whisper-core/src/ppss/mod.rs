@@ -1,0 +1,882 @@
+//! The private peer sampling service (paper §IV).
+//!
+//! One [`Ppss`] instance manages all the private groups a node belongs
+//! to; every group is handled independently (a node never discloses one
+//! group's membership to another group's members). All PPSS traffic —
+//! join handshakes, private view exchanges, application data, persistent
+//! path refreshes — travels through WCL onion routes, so neither content
+//! nor the fact that two members talk is visible to outsiders.
+
+pub mod election;
+pub mod group;
+pub mod messages;
+
+use crate::wcl::{GatewayInfo, Wcl};
+use election::{ElectionOutcome, LeaderTracker};
+use group::{issue_accreditation, verify_accreditation, GroupId, Invitation, Passport};
+pub use messages::PrivateEntry;
+use messages::{ElectionBallot, Heartbeat, NewKeyAnnouncement, PpssMsg};
+use rand::Rng;
+use std::collections::HashMap;
+use whisper_crypto::rsa::{KeyPair, PublicKey};
+use whisper_net::sim::Ctx;
+use whisper_net::wire::{WireDecode, WireEncode};
+use whisper_net::{NodeId, SimDuration};
+use whisper_pss::NylonCore;
+
+/// Timer token: the PPSS gossip cycle (all groups share one timer).
+pub const TIMER_PPSS_CYCLE: u64 = 5;
+/// Timer token: persistent-connection-pool refresh.
+pub const TIMER_PCP_REFRESH: u64 = 6;
+
+/// PPSS configuration.
+#[derive(Clone, Debug)]
+pub struct PpssConfig {
+    /// Private view size per group.
+    ///
+    /// Must be strictly larger than `gossip_len`: when every exchange
+    /// ships the whole view, age-0 copies of a *dead* member's entry
+    /// replicate faster than holders age them (each transfer duplicates
+    /// the freshest copy), and views freeze at an all-fresh fixed point
+    /// in which failed nodes are never pruned. Shipping a strict subset
+    /// keeps the duplication rate below the aging rate, which is exactly
+    /// why the classic PSS exchanges `c/2` of `c` entries.
+    pub view_size: usize,
+    /// Entries shipped per exchange (paper: 5).
+    pub gossip_len: usize,
+    /// PPSS cycle period (paper: 1 minute).
+    pub cycle: SimDuration,
+    /// Π — gateways advertised per NATted member (paper: 3).
+    pub gateways: usize,
+    /// PCP refresh period (lower frequency than gossip; bounded by the
+    /// NAT association lease).
+    pub pcp_refresh: SimDuration,
+    /// Heartbeat-silent cycles before a leader election starts.
+    pub hb_miss_threshold: u64,
+    /// Aggregation cycles before an election round is decided.
+    pub election_cycles: u64,
+}
+
+impl PpssConfig {
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `gossip_len >= view_size` (see `view_size` docs: a
+    /// full-view exchange breaks failure pruning).
+    pub fn validate(&self) {
+        assert!(
+            self.gossip_len < self.view_size,
+            "PPSS gossip_len must be smaller than view_size"
+        );
+    }
+}
+
+impl Default for PpssConfig {
+    fn default() -> Self {
+        PpssConfig {
+            view_size: 8,
+            gossip_len: 5,
+            cycle: SimDuration::from_secs(60),
+            gateways: 3,
+            pcp_refresh: SimDuration::from_secs(120),
+            hb_miss_threshold: 4,
+            election_cycles: 3,
+        }
+    }
+}
+
+/// Upcalls from the PPSS.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PpssEvent {
+    /// The join handshake for `group` completed; the node is a member.
+    Joined {
+        /// The group.
+        group: GroupId,
+    },
+    /// The private view of `group` changed.
+    ViewUpdated {
+        /// The group.
+        group: GroupId,
+    },
+    /// Application data from a fellow group member.
+    AppMessage {
+        /// The group.
+        group: GroupId,
+        /// The authenticated sender (passport-verified).
+        from: NodeId,
+        /// Application bytes.
+        data: Vec<u8>,
+        /// The sender's entry, when it shipped one for replies.
+        reply_entry: Option<PrivateEntry>,
+    },
+    /// A member could not be reached over any WCL route and was dropped
+    /// from the private view.
+    MemberUnreachable {
+        /// The group.
+        group: GroupId,
+        /// The dropped member.
+        node: NodeId,
+    },
+    /// This node won a leader election.
+    BecameLeader {
+        /// The group.
+        group: GroupId,
+        /// The new leadership epoch.
+        epoch: u64,
+    },
+}
+
+/// State of one group membership.
+pub struct GroupState {
+    /// Group key history, oldest first; the last entry is current.
+    key_history: Vec<PublicKey>,
+    /// The group private key (leaders only).
+    leader_key: Option<KeyPair>,
+    /// Our passport.
+    passport: Passport,
+    /// The private view.
+    view: Vec<PrivateEntry>,
+    /// Persistent connection pool: entries kept fresh independently of
+    /// the view.
+    pcp: HashMap<NodeId, PrivateEntry>,
+    /// Leader liveness / election state.
+    tracker: LeaderTracker,
+    /// Outstanding exchange: (partner, WCL msg id).
+    outstanding: Option<(NodeId, u64)>,
+    /// Latest verified key announcement, piggybacked for dissemination.
+    latest_announcement: Option<NewKeyAnnouncement>,
+}
+
+impl GroupState {
+    /// The current private view.
+    pub fn view(&self) -> &[PrivateEntry] {
+        &self.view
+    }
+
+    /// Whether this node holds the group private key.
+    pub fn is_leader(&self) -> bool {
+        self.leader_key.is_some()
+    }
+
+    /// The group key history (oldest first).
+    pub fn key_history(&self) -> &[PublicKey] {
+        &self.key_history
+    }
+
+    /// The persistent connection pool entries.
+    pub fn pcp(&self) -> &HashMap<NodeId, PrivateEntry> {
+        &self.pcp
+    }
+
+    /// Current leadership epoch.
+    pub fn epoch(&self) -> u64 {
+        self.tracker.epoch
+    }
+
+    fn current_key(&self) -> &PublicKey {
+        self.key_history.last().expect("non-empty history")
+    }
+
+    fn merge_entries(&mut self, me: NodeId, entries: Vec<PrivateEntry>, cap: usize) {
+        for entry in entries {
+            if entry.node == me {
+                continue;
+            }
+            match self.view.iter_mut().find(|e| e.node == entry.node) {
+                Some(existing) => {
+                    if entry.age <= existing.age {
+                        *existing = entry;
+                    }
+                }
+                None => self.view.push(entry),
+            }
+        }
+        self.view.sort_by_key(|e| (e.age, e.node));
+        self.view.truncate(cap);
+    }
+}
+
+/// A pending join: retried every cycle until the ack arrives.
+struct PendingJoin {
+    invitation: Invitation,
+    msg_id: Option<u64>,
+}
+
+/// The private peer sampling service of one node.
+pub struct Ppss {
+    cfg: PpssConfig,
+    groups: HashMap<GroupId, GroupState>,
+    pending_joins: HashMap<GroupId, PendingJoin>,
+    started: bool,
+    cycles_run: u64,
+}
+
+impl std::fmt::Debug for Ppss {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ppss").field("groups", &self.groups.len()).finish()
+    }
+}
+
+impl Ppss {
+    /// Creates an empty PPSS.
+    pub fn new(cfg: PpssConfig) -> Self {
+        Ppss {
+            cfg,
+            groups: HashMap::new(),
+            pending_joins: HashMap::new(),
+            started: false,
+            cycles_run: 0,
+        }
+    }
+
+    /// Number of PPSS cycles this node has run (diagnostics).
+    pub fn cycles_run(&self) -> u64 {
+        self.cycles_run
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PpssConfig {
+        &self.cfg
+    }
+
+    /// Groups this node belongs to, sorted (deterministic).
+    pub fn group_ids(&self) -> Vec<GroupId> {
+        let mut ids: Vec<GroupId> = self.groups.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// The state of `group`, if this node is a member.
+    pub fn group(&self, group: GroupId) -> Option<&GroupState> {
+        self.groups.get(&group)
+    }
+
+    /// Must be called once at node start: arms the cycle timers.
+    pub fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.cfg.validate();
+        if self.started {
+            return;
+        }
+        self.started = true;
+        let offset =
+            SimDuration::from_micros(ctx.rng().gen_range(0..self.cfg.cycle.as_micros().max(1)));
+        ctx.set_timer(offset, TIMER_PPSS_CYCLE);
+        ctx.set_timer(self.cfg.pcp_refresh, TIMER_PCP_REFRESH);
+    }
+
+    /// Builds this node's fresh private-view entry: identity key plus Π
+    /// gateway P-nodes drawn from the Nylon connection backlog.
+    pub fn my_entry(&self, nylon: &NylonCore) -> PrivateEntry {
+        let public = nylon.is_public();
+        let gateways = if public {
+            Vec::new()
+        } else {
+            nylon
+                .cb()
+                .publics()
+                .filter_map(|e| e.key.clone().map(|key| GatewayInfo { node: e.node, key }))
+                .take(self.cfg.gateways)
+                .collect()
+        };
+        PrivateEntry {
+            node: nylon.id(),
+            age: 0,
+            public,
+            key: nylon.keypair().public().clone(),
+            gateways,
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Group management API (the `createGroup` / `joinGroup` /
+    // `authorizeJoin` interface of Fig. 1)
+    // ----------------------------------------------------------------
+
+    /// Creates a new private group with this node as its leader.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node already belongs to a group with this name.
+    pub fn create_group(&mut self, ctx: &mut Ctx<'_>, nylon: &NylonCore, name: &str) -> GroupId {
+        let id = GroupId::from_name(name);
+        assert!(!self.groups.contains_key(&id), "already a member of {name:?}");
+        let group_key = KeyPair::generate(nylon.config().rsa, ctx.rng());
+        let passport = Passport::issue(&group_key, id, nylon.id());
+        let mut tracker = LeaderTracker::new();
+        tracker.beat();
+        self.groups.insert(
+            id,
+            GroupState {
+                key_history: vec![group_key.public().clone()],
+                leader_key: Some(group_key),
+                passport,
+                view: Vec::new(),
+                pcp: HashMap::new(),
+                tracker,
+                outstanding: None,
+                latest_announcement: None,
+            },
+        );
+        ctx.metrics().count("ppss.groups_created", 1);
+        id
+    }
+
+    /// Issues an invitation for `invitee` (leader operation; the
+    /// `authorizeJoin` API).
+    ///
+    /// Returns `None` if this node is not a leader of `group`.
+    pub fn invite(
+        &self,
+        nylon: &NylonCore,
+        group: GroupId,
+        invitee: NodeId,
+    ) -> Option<Invitation> {
+        let state = self.groups.get(&group)?;
+        let leader_key = state.leader_key.as_ref()?;
+        Some(Invitation {
+            group,
+            group_key: state.current_key().clone(),
+            accreditation: issue_accreditation(leader_key, group, invitee),
+            entry_point: self.my_entry(nylon),
+        })
+    }
+
+    /// Starts the join handshake using an out-of-band invitation. The
+    /// request is retried every PPSS cycle until the leader answers.
+    pub fn join_group(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        nylon: &mut NylonCore,
+        wcl: &mut Wcl,
+        invitation: Invitation,
+    ) {
+        let group = invitation.group;
+        if self.groups.contains_key(&group) {
+            return;
+        }
+        self.pending_joins
+            .insert(group, PendingJoin { invitation, msg_id: None });
+        self.try_pending_join(ctx, nylon, wcl, group);
+    }
+
+    fn try_pending_join(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        nylon: &mut NylonCore,
+        wcl: &mut Wcl,
+        group: GroupId,
+    ) {
+        let entry = self.my_entry(nylon);
+        let Some(pending) = self.pending_joins.get_mut(&group) else {
+            return;
+        };
+        if pending.msg_id.is_some_and(|id| wcl.is_pending(id)) {
+            return; // a request is still in flight
+        }
+        let msg = PpssMsg::JoinReq {
+            group,
+            accreditation: pending.invitation.accreditation.clone(),
+            entry,
+        };
+        let msg_id = wcl.alloc_msg_id();
+        pending.msg_id = Some(msg_id);
+        let dest = pending.invitation.entry_point.dest_info();
+        ctx.metrics().count("ppss.join_attempts", 1);
+        wcl.send(ctx, nylon, &dest, msg.to_wire(), msg_id);
+    }
+
+    /// Adds `node` (taken from the private view) to the persistent
+    /// connection pool of `group`. Returns `false` if unknown.
+    pub fn make_persistent(&mut self, group: GroupId, node: NodeId) -> bool {
+        let Some(state) = self.groups.get_mut(&group) else {
+            return false;
+        };
+        let Some(entry) = state.view.iter().find(|e| e.node == node).cloned() else {
+            return false;
+        };
+        state.pcp.insert(node, entry);
+        true
+    }
+
+    /// Sends application bytes to a group member over a WCL route,
+    /// optionally shipping our entry so the member can reply directly.
+    ///
+    /// Returns `false` when the target is not in the view/PCP or no route
+    /// could be built.
+    #[allow(clippy::too_many_arguments)]
+    pub fn send_app(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        nylon: &mut NylonCore,
+        wcl: &mut Wcl,
+        group: GroupId,
+        to: NodeId,
+        data: Vec<u8>,
+        with_reply_entry: bool,
+    ) -> bool {
+        let my_entry = with_reply_entry.then(|| self.my_entry(nylon));
+        let Some(state) = self.groups.get(&group) else {
+            return false;
+        };
+        let Some(entry) = state
+            .pcp
+            .get(&to)
+            .or_else(|| state.view.iter().find(|e| e.node == to))
+        else {
+            return false;
+        };
+        let msg = PpssMsg::AppData {
+            group,
+            passport: state.passport.clone(),
+            data,
+            reply_entry: my_entry,
+        };
+        wcl.send_untracked(ctx, nylon, &entry.dest_info(), &msg.to_wire())
+    }
+
+    /// Sends application bytes to an explicit entry (e.g. one shipped in
+    /// a query for the reply, the §V-G T-Chord pattern).
+    #[allow(clippy::too_many_arguments)]
+    pub fn send_app_to_entry(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        nylon: &mut NylonCore,
+        wcl: &mut Wcl,
+        group: GroupId,
+        to: &PrivateEntry,
+        data: Vec<u8>,
+        with_reply_entry: bool,
+    ) -> bool {
+        let my_entry = with_reply_entry.then(|| self.my_entry(nylon));
+        let Some(state) = self.groups.get(&group) else {
+            return false;
+        };
+        let msg = PpssMsg::AppData {
+            group,
+            passport: state.passport.clone(),
+            data,
+            reply_entry: my_entry,
+        };
+        wcl.send_untracked(ctx, nylon, &to.dest_info(), &msg.to_wire())
+    }
+
+    // ----------------------------------------------------------------
+    // Timers
+    // ----------------------------------------------------------------
+
+    /// Runs one PPSS cycle for every group; re-arms the timer.
+    pub fn on_cycle(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        nylon: &mut NylonCore,
+        wcl: &mut Wcl,
+    ) -> Vec<PpssEvent> {
+        let mut events = Vec::new();
+        self.cycles_run += 1;
+        ctx.set_timer(self.cfg.cycle, TIMER_PPSS_CYCLE);
+        // Retry pending joins.
+        let pending: Vec<GroupId> = self.pending_joins.keys().copied().collect();
+        for group in pending {
+            self.try_pending_join(ctx, nylon, wcl, group);
+        }
+        let my_entry = self.my_entry(nylon);
+        let me = nylon.id();
+        let my_key_bytes = nylon.keypair().public().to_bytes();
+        let groups: Vec<GroupId> = self.group_ids();
+        for group in groups {
+            let cfg = self.cfg.clone();
+            let state = self.groups.get_mut(&group).expect("listed");
+            // Leader heartbeats / member election bookkeeping.
+            if state.is_leader() {
+                state.tracker.beat();
+            } else {
+                match state.tracker.on_cycle(
+                    me,
+                    my_key_bytes.clone(),
+                    cfg.hb_miss_threshold,
+                    cfg.election_cycles,
+                ) {
+                    ElectionOutcome::Won { epoch } => {
+                        let new_key = KeyPair::generate(nylon.config().rsa, ctx.rng());
+                        let group_key = new_key.public().to_bytes();
+                        let ann = NewKeyAnnouncement {
+                            epoch,
+                            signature: nylon
+                                .keypair()
+                                .sign(&NewKeyAnnouncement::message(epoch, &group_key)),
+                            group_key,
+                            signer: me,
+                            signer_key: my_key_bytes.clone(),
+                        };
+                        state.key_history.push(new_key.public().clone());
+                        // Keep the old passport: it stays valid through
+                        // the key history, and members that have not yet
+                        // learned the new key would reject a new-key
+                        // passport — and with it, the announcement itself.
+                        state.leader_key = Some(new_key);
+                        state.latest_announcement = Some(ann);
+                        ctx.metrics().count("ppss.elections_won", 1);
+                        events.push(PpssEvent::BecameLeader { group, epoch });
+                    }
+                    ElectionOutcome::Idle => {}
+                }
+            }
+            // Age the private view and gossip with its oldest member.
+            for e in &mut state.view {
+                e.age = e.age.saturating_add(1);
+            }
+            let Some(partner) = state
+                .view
+                .iter()
+                .max_by_key(|e| (e.age, e.node))
+                .cloned()
+            else {
+                continue;
+            };
+            let buffer = Self::build_buffer(state, &my_entry, partner.node, cfg.gossip_len, ctx);
+            let msg_id = wcl.alloc_msg_id();
+            let msg = PpssMsg::Exchange {
+                group,
+                passport: state.passport.clone(),
+                from_entry: my_entry.clone(),
+                entries: buffer,
+                exchange_id: msg_id,
+                is_response: false,
+                hb: state.tracker.heartbeat(),
+                election: state.tracker.ballot(),
+                new_key: state.latest_announcement.clone(),
+            };
+            state.outstanding = Some((partner.node, msg_id));
+            ctx.metrics().count("ppss.exchanges_initiated", 1);
+            if !wcl.send(ctx, nylon, &partner.dest_info(), msg.to_wire(), msg_id) {
+                // No route constructible at all (e.g. every advertised
+                // gateway is gone): without this, the unreachable partner
+                // would stay the oldest entry and be re-selected forever.
+                state.outstanding = None;
+                state.view.retain(|e| e.node != partner.node);
+                state.pcp.remove(&partner.node);
+                events.push(PpssEvent::MemberUnreachable { group, node: partner.node });
+            }
+        }
+        events
+    }
+
+    /// Refreshes every persistent connection (paper §IV-C); re-arms the
+    /// timer.
+    pub fn on_pcp_refresh(&mut self, ctx: &mut Ctx<'_>, nylon: &mut NylonCore, wcl: &mut Wcl) {
+        ctx.set_timer(self.cfg.pcp_refresh, TIMER_PCP_REFRESH);
+        let my_entry = self.my_entry(nylon);
+        let groups: Vec<GroupId> = self.group_ids();
+        for group in groups {
+            let state = self.groups.get_mut(&group).expect("listed");
+            let targets: Vec<PrivateEntry> = state.pcp.values().cloned().collect();
+            let passport = state.passport.clone();
+            for target in targets {
+                let msg = PpssMsg::PcpRefresh {
+                    group,
+                    passport: passport.clone(),
+                    entry: my_entry.clone(),
+                    respond: true,
+                };
+                ctx.metrics().count("ppss.pcp_refreshes", 1);
+                wcl.send_untracked(ctx, nylon, &target.dest_info(), &msg.to_wire());
+            }
+        }
+    }
+
+    /// Handles a WCL route failure for a tracked send.
+    pub fn on_route_failed(&mut self, msg_id: u64, dest: NodeId) -> Vec<PpssEvent> {
+        let mut events = Vec::new();
+        for (gid, state) in self.groups.iter_mut() {
+            if state.outstanding == Some((dest, msg_id)) {
+                state.outstanding = None;
+                // The paper treats exhausted retries as destination
+                // failure: drop it from the private view.
+                state.view.retain(|e| e.node != dest);
+                state.pcp.remove(&dest);
+                events.push(PpssEvent::MemberUnreachable { group: *gid, node: dest });
+            }
+        }
+        for pending in self.pending_joins.values_mut() {
+            if pending.msg_id == Some(msg_id) {
+                pending.msg_id = None; // retried next cycle
+            }
+        }
+        events
+    }
+
+    // ----------------------------------------------------------------
+    // Message handling (called for every WCL-delivered payload)
+    // ----------------------------------------------------------------
+
+    /// Processes a confidential payload delivered by the WCL. Returns
+    /// `None` if it does not parse as a PPSS message.
+    pub fn on_delivered(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        nylon: &mut NylonCore,
+        wcl: &mut Wcl,
+        payload: &[u8],
+    ) -> Option<Vec<PpssEvent>> {
+        let msg = PpssMsg::from_wire(payload).ok()?;
+        let mut events = Vec::new();
+        match msg {
+            PpssMsg::JoinReq { group, accreditation, entry } => {
+                self.handle_join_req(ctx, nylon, wcl, group, accreditation, entry);
+            }
+            PpssMsg::JoinAck { group, passport, key_history, entries } => {
+                self.handle_join_ack(ctx, nylon, group, passport, key_history, entries, &mut events);
+            }
+            PpssMsg::Exchange {
+                group,
+                passport,
+                from_entry,
+                entries,
+                exchange_id,
+                is_response,
+                hb,
+                election,
+                new_key,
+            } => {
+                self.handle_exchange(
+                    ctx, nylon, wcl, group, passport, from_entry, entries, exchange_id,
+                    is_response, hb, election, new_key, &mut events,
+                );
+            }
+            PpssMsg::AppData { group, passport, data, reply_entry } => {
+                let Some(state) = self.groups.get(&group) else {
+                    ctx.metrics().count("ppss.dropped_unknown_group", 1);
+                    return Some(events);
+                };
+                if !passport.verify(group, &state.key_history) {
+                    ctx.metrics().count("ppss.dropped_bad_passport", 1);
+                    return Some(events);
+                }
+                events.push(PpssEvent::AppMessage {
+                    group,
+                    from: passport.node,
+                    data,
+                    reply_entry,
+                });
+            }
+            PpssMsg::PcpRefresh { group, passport, entry, respond } => {
+                let my_entry = self.my_entry(nylon);
+                let Some(state) = self.groups.get_mut(&group) else {
+                    return Some(events);
+                };
+                if !passport.verify(group, &state.key_history) || passport.node != entry.node {
+                    ctx.metrics().count("ppss.dropped_bad_passport", 1);
+                    return Some(events);
+                }
+                // Refresh wherever we hold this member.
+                if state.pcp.contains_key(&entry.node) {
+                    state.pcp.insert(entry.node, entry.clone());
+                }
+                if let Some(existing) = state.view.iter_mut().find(|e| e.node == entry.node) {
+                    *existing = entry.clone();
+                }
+                if respond {
+                    let msg = PpssMsg::PcpRefresh {
+                        group,
+                        passport: state.passport.clone(),
+                        entry: my_entry,
+                        respond: false,
+                    };
+                    wcl.send_untracked(ctx, nylon, &entry.dest_info(), &msg.to_wire());
+                }
+            }
+        }
+        Some(events)
+    }
+
+    fn handle_join_req(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        nylon: &mut NylonCore,
+        wcl: &mut Wcl,
+        group: GroupId,
+        accreditation: Vec<u8>,
+        entry: PrivateEntry,
+    ) {
+        let my_entry = self.my_entry(nylon);
+        let cap = self.cfg.view_size;
+        let me = nylon.id();
+        let Some(state) = self.groups.get_mut(&group) else {
+            return;
+        };
+        let Some(leader_key) = state.leader_key.as_ref() else {
+            // Not a leader: silently ignore (never reveal membership).
+            ctx.metrics().count("ppss.join_ignored_not_leader", 1);
+            return;
+        };
+        if !verify_accreditation(&accreditation, group, entry.node, &state.key_history) {
+            ctx.metrics().count("ppss.join_rejected", 1);
+            return;
+        }
+        let passport = Passport::issue(leader_key, group, entry.node);
+        // Seed the joiner with a slice of our view plus ourselves.
+        let mut entries = vec![my_entry];
+        entries.extend(state.view.iter().take(self.cfg.gossip_len).cloned());
+        let ack = PpssMsg::JoinAck {
+            group,
+            passport,
+            key_history: state.key_history.iter().map(|k| k.to_bytes()).collect(),
+            entries,
+        };
+        state.merge_entries(me, vec![entry.clone()], cap);
+        ctx.metrics().count("ppss.joins_accepted", 1);
+        wcl.send_untracked(ctx, nylon, &entry.dest_info(), &ack.to_wire());
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn handle_join_ack(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        nylon: &mut NylonCore,
+        group: GroupId,
+        passport: Passport,
+        key_history: Vec<Vec<u8>>,
+        entries: Vec<PrivateEntry>,
+        events: &mut Vec<PpssEvent>,
+    ) {
+        let Some(pending) = self.pending_joins.get(&group) else {
+            return;
+        };
+        let history: Vec<PublicKey> = key_history
+            .iter()
+            .filter_map(|b| PublicKey::from_bytes(b))
+            .collect();
+        // The invitation's key must appear in the history, and our new
+        // passport must verify: otherwise someone is feeding us a fake
+        // group.
+        if !history.contains(&pending.invitation.group_key)
+            || passport.node != nylon.id()
+            || !passport.verify(group, &history)
+        {
+            ctx.metrics().count("ppss.join_ack_invalid", 1);
+            return;
+        }
+        self.pending_joins.remove(&group);
+        let mut state = GroupState {
+            key_history: history,
+            leader_key: None,
+            passport,
+            view: Vec::new(),
+            pcp: HashMap::new(),
+            tracker: LeaderTracker::new(),
+            outstanding: None,
+            latest_announcement: None,
+        };
+        state.merge_entries(nylon.id(), entries, self.cfg.view_size);
+        self.groups.insert(group, state);
+        ctx.metrics().count("ppss.joins_completed", 1);
+        events.push(PpssEvent::Joined { group });
+        events.push(PpssEvent::ViewUpdated { group });
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn handle_exchange(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        nylon: &mut NylonCore,
+        wcl: &mut Wcl,
+        group: GroupId,
+        passport: Passport,
+        from_entry: PrivateEntry,
+        entries: Vec<PrivateEntry>,
+        exchange_id: u64,
+        is_response: bool,
+        hb: Heartbeat,
+        election: Option<ElectionBallot>,
+        new_key: Option<NewKeyAnnouncement>,
+        events: &mut Vec<PpssEvent>,
+    ) {
+        let my_entry = self.my_entry(nylon);
+        let me = nylon.id();
+        let cfg = self.cfg.clone();
+        let Some(state) = self.groups.get_mut(&group) else {
+            ctx.metrics().count("ppss.dropped_unknown_group", 1);
+            return;
+        };
+        if !passport.verify(group, &state.key_history) || passport.node != from_entry.node {
+            // Invalid passports are ignored silently (paper §IV-A): the
+            // sender learns nothing about our membership.
+            ctx.metrics().count("ppss.dropped_bad_passport", 1);
+            return;
+        }
+        // Key-change announcements are processed *before* heartbeats:
+        // hearing an epoch-N heartbeat must not stop us from installing
+        // the epoch-N group key. Elections can produce several winners
+        // (the paper allows "one or several leaders"); every validly
+        // signed key for a current-or-newer epoch joins the history so
+        // passports from any co-leader verify.
+        if let Some(ann) = new_key {
+            if ann.epoch >= state.tracker.epoch {
+                if let Some(group_key) = ann.verify() {
+                    if !state.key_history.contains(&group_key) {
+                        state.key_history.push(group_key);
+                        ctx.metrics().count("ppss.new_key_accepted", 1);
+                    }
+                    state.tracker.accept_new_epoch(ann.epoch);
+                    let fresher = state
+                        .latest_announcement
+                        .as_ref()
+                        .is_none_or(|cur| ann.epoch >= cur.epoch);
+                    if fresher {
+                        state.latest_announcement = Some(ann);
+                    }
+                }
+            }
+        }
+        // Liveness / election gossip.
+        state.tracker.observe_heartbeat(hb);
+        if let Some(ballot) = election {
+            state.tracker.observe_ballot(ballot);
+        }
+        if !is_response {
+            // Answer with our own buffer (built pre-merge).
+            let buffer = Self::build_buffer(state, &my_entry, from_entry.node, cfg.gossip_len, ctx);
+            let resp = PpssMsg::Exchange {
+                group,
+                passport: state.passport.clone(),
+                from_entry: my_entry.clone(),
+                entries: buffer,
+                exchange_id,
+                is_response: true,
+                hb: state.tracker.heartbeat(),
+                election: state.tracker.ballot(),
+                new_key: state.latest_announcement.clone(),
+            };
+            ctx.metrics().count("ppss.exchanges_served", 1);
+            wcl.send_untracked(ctx, nylon, &from_entry.dest_info(), &resp.to_wire());
+        } else {
+            if state.outstanding == Some((from_entry.node, exchange_id)) {
+                state.outstanding = None;
+            }
+            wcl.notify_response(ctx, exchange_id);
+            ctx.metrics().count("ppss.exchanges_completed", 1);
+        }
+        let mut received = entries;
+        received.push(from_entry);
+        state.merge_entries(me, received, cfg.view_size);
+        events.push(PpssEvent::ViewUpdated { group });
+    }
+
+    /// Builds the exchange buffer: a random `len`-sized subset of the
+    /// view, excluding the partner (our fresh entry travels separately as
+    /// `from_entry`).
+    fn build_buffer(
+        state: &GroupState,
+        _my_entry: &PrivateEntry,
+        partner: NodeId,
+        len: usize,
+        ctx: &mut Ctx<'_>,
+    ) -> Vec<PrivateEntry> {
+        use rand::seq::SliceRandom;
+        let mut candidates: Vec<&PrivateEntry> =
+            state.view.iter().filter(|e| e.node != partner).collect();
+        candidates.shuffle(ctx.rng());
+        candidates.into_iter().take(len).cloned().collect()
+    }
+}

@@ -1,0 +1,539 @@
+//! The WHISPER communication layer (paper §III).
+//!
+//! A WCL route is a fixed-length onion path `S → A → B → D`:
+//!
+//! * `A` — any node from the source's connection backlog (a NAT-resilient
+//!   path to it is known to be open);
+//! * `B` — a **P-node** that can reach `D`: for a NATted destination one
+//!   of the Π P-nodes the destination advertises (they hold an open
+//!   association towards it), for a public destination any known P-node;
+//! * the onion header hides, from every relay, whether its successor is
+//!   another mix or the destination, providing relationship anonymity;
+//! * the body is AES-encrypted under a key only `D` can recover,
+//!   providing content confidentiality.
+//!
+//! Sends that expect an answer register in a pending table; if no
+//! response arrives in time the WCL rebuilds an **alternative path**
+//! (different `A` and/or `B`) and retries, up to Π times — the machinery
+//! measured by Table I.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::HashMap;
+use whisper_crypto::onion::{self, PeelResult};
+use whisper_crypto::rsa::PublicKey;
+use whisper_net::sim::Ctx;
+use whisper_net::wire::{WireDecode, WireEncode, WireError, WireReader, WireWriter};
+use whisper_net::{NodeId, SimDuration};
+use whisper_pss::transport::SendOutcome;
+use whisper_pss::NylonCore;
+
+/// Onion-layer hop address: the node id plus its reachability class —
+/// exactly what a real address (public IP vs. relayed endpoint) conveys.
+fn hop_addr(node: NodeId, public: bool) -> Vec<u8> {
+    let mut out = node.to_bytes().to_vec();
+    out.push(public as u8);
+    out
+}
+
+/// Parses a hop address produced by [`hop_addr`].
+fn parse_hop_addr(bytes: &[u8]) -> Option<(NodeId, bool)> {
+    if bytes.len() != 9 || bytes[8] > 1 {
+        return None;
+    }
+    Some((NodeId::from_bytes(&bytes[..8])?, bytes[8] == 1))
+}
+
+/// Timer token kind used by WCL retry timers (low byte).
+pub const TIMER_WCL_RETRY: u64 = 4;
+
+/// Packs a retry-timer token for a message id.
+pub fn retry_token(msg_id: u64) -> u64 {
+    TIMER_WCL_RETRY | (msg_id << 8)
+}
+
+/// Recovers the message id from a retry token.
+pub fn msg_id_of_token(token: u64) -> u64 {
+    token >> 8
+}
+
+/// A P-node gateway able to reach a destination, with its public key
+/// (needed to seal the next-to-last onion layer).
+#[derive(Clone, Debug, PartialEq)]
+pub struct GatewayInfo {
+    /// The P-node.
+    pub node: NodeId,
+    /// Its public key.
+    pub key: PublicKey,
+}
+
+impl WireEncode for GatewayInfo {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put(&self.node);
+        w.put_bytes(&self.key.to_bytes());
+    }
+}
+
+impl WireDecode for GatewayInfo {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let node = r.take()?;
+        let key =
+            PublicKey::from_bytes(r.take_bytes()?).ok_or(WireError::new("bad gateway key"))?;
+        Ok(GatewayInfo { node, key })
+    }
+}
+
+/// Everything a source must know about a destination to build a WCL
+/// route (a PPSS private-view entry carries exactly this).
+#[derive(Clone, Debug, PartialEq)]
+pub struct DestInfo {
+    /// The destination node.
+    pub node: NodeId,
+    /// Whether it is a P-node.
+    pub public: bool,
+    /// Its public key.
+    pub key: PublicKey,
+    /// Π P-nodes that can reach it (empty for public destinations).
+    pub gateways: Vec<GatewayInfo>,
+}
+
+/// WCL configuration.
+#[derive(Clone, Debug)]
+pub struct WclConfig {
+    /// Number of mixes on a path (2 in the paper: `A` and `B`). Larger
+    /// values tolerate `f − 1` colluding mixes at extra cost (§III-A
+    /// footnote; exercised by the path-length ablation).
+    pub mixes: usize,
+    /// How long to wait for a response before retrying over an
+    /// alternative path.
+    pub retry_timeout: SimDuration,
+    /// Maximum retries (Π in the paper).
+    pub max_retries: usize,
+}
+
+impl Default for WclConfig {
+    fn default() -> Self {
+        WclConfig {
+            mixes: 2,
+            retry_timeout: SimDuration::from_secs(2),
+            max_retries: 3,
+        }
+    }
+}
+
+/// Upcalls from the WCL.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WclEvent {
+    /// A confidential payload arrived (this node is the destination). The
+    /// source is intentionally *not* identified at this layer.
+    Delivered {
+        /// The decrypted payload.
+        payload: Vec<u8>,
+    },
+    /// A tracked send gave up after exhausting retries.
+    RouteFailed {
+        /// The message id passed to [`Wcl::send`].
+        msg_id: u64,
+        /// The unreachable destination.
+        dest: NodeId,
+        /// `true` if no alternative path could even be constructed.
+        no_alternative: bool,
+    },
+}
+
+/// The wire format of a WCL packet (inside a Nylon `App` payload).
+#[derive(Clone, Debug, PartialEq)]
+struct WclPacket {
+    header: Vec<u8>,
+    body: Vec<u8>,
+}
+
+const WCL_TAG: u8 = 0xC1;
+
+impl WireEncode for WclPacket {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u8(WCL_TAG);
+        w.put_bytes(&self.header);
+        w.put_bytes(&self.body);
+    }
+}
+
+impl WireDecode for WclPacket {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        if r.take_u8()? != WCL_TAG {
+            return Err(WireError::new("not a WCL packet"));
+        }
+        Ok(WclPacket { header: r.take_bytes()?.to_vec(), body: r.take_bytes()?.to_vec() })
+    }
+}
+
+struct PendingSend {
+    dest: DestInfo,
+    payload: Vec<u8>,
+    attempts: usize,
+    used_first_mixes: Vec<NodeId>,
+    used_gateways: Vec<NodeId>,
+    sent_at: whisper_net::SimTime,
+}
+
+/// Per-node WCL state.
+pub struct Wcl {
+    cfg: WclConfig,
+    pending: HashMap<u64, PendingSend>,
+    next_msg_id: u64,
+}
+
+impl std::fmt::Debug for Wcl {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wcl").field("pending", &self.pending.len()).finish()
+    }
+}
+
+impl Wcl {
+    /// Creates WCL state.
+    pub fn new(cfg: WclConfig) -> Self {
+        assert!(cfg.mixes >= 1, "at least one mix required");
+        Wcl { cfg, pending: HashMap::new(), next_msg_id: 1 }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &WclConfig {
+        &self.cfg
+    }
+
+    /// Allocates a fresh message id for a tracked send.
+    pub fn alloc_msg_id(&mut self) -> u64 {
+        let id = self.next_msg_id;
+        self.next_msg_id += 1;
+        id
+    }
+
+    /// Sends `payload` confidentially to `dest` without tracking
+    /// (fire-and-forget, used for responses).
+    ///
+    /// Returns `false` if no path could be constructed.
+    pub fn send_untracked(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        nylon: &mut NylonCore,
+        dest: &DestInfo,
+        payload: &[u8],
+    ) -> bool {
+        self.try_send(ctx, nylon, dest, payload, &[], &[]).is_some()
+    }
+
+    /// Sends `payload` confidentially to `dest`, tracking it for retries:
+    /// if [`Wcl::notify_response`] is not called with `msg_id` before the
+    /// retry timeout, an alternative path is tried (up to `max_retries`).
+    ///
+    /// Counts the Table I statistics: `wcl.route_first_success`,
+    /// `wcl.route_alt_success`, `wcl.route_no_alt`,
+    /// `wcl.route_exhausted`.
+    pub fn send(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        nylon: &mut NylonCore,
+        dest: &DestInfo,
+        payload: Vec<u8>,
+        msg_id: u64,
+    ) -> bool {
+        ctx.metrics().count("wcl.route_attempts", 1);
+        let first = self.try_send(ctx, nylon, dest, &payload, &[], &[]);
+        let (used_a, used_b) = match first {
+            Some((a, b)) => (vec![a], vec![b]),
+            None => {
+                // Could not even build the first path; treated as "no
+                // alternative" immediately.
+                ctx.metrics().count("wcl.route_no_alt", 1);
+                return false;
+            }
+        };
+        self.pending.insert(
+            msg_id,
+            PendingSend {
+                dest: dest.clone(),
+                payload,
+                attempts: 1,
+                used_first_mixes: used_a,
+                used_gateways: used_b,
+                sent_at: ctx.now(),
+            },
+        );
+        ctx.set_timer(self.cfg.retry_timeout, retry_token(msg_id));
+        true
+    }
+
+    /// Tells the WCL that the request behind `msg_id` got its answer;
+    /// updates the Table I counters.
+    pub fn notify_response(&mut self, ctx: &mut Ctx<'_>, msg_id: u64) {
+        if let Some(p) = self.pending.remove(&msg_id) {
+            if p.attempts <= 1 {
+                ctx.metrics().count("wcl.route_first_success", 1);
+            } else {
+                ctx.metrics().count("wcl.route_alt_success", 1);
+            }
+            // Fig. 7's "total rtt": request out, answer back, in
+            // simulated seconds.
+            let rtt = ctx.now().since(p.sent_at).as_secs_f64();
+            ctx.metrics().sample("wcl.rtt_s", rtt);
+        }
+    }
+
+    /// Whether `msg_id` is still awaiting a response.
+    pub fn is_pending(&self, msg_id: u64) -> bool {
+        self.pending.contains_key(&msg_id)
+    }
+
+    /// Handles a retry timer. Returns a [`WclEvent::RouteFailed`] when the
+    /// send is abandoned.
+    pub fn on_retry_timer(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        nylon: &mut NylonCore,
+        token: u64,
+    ) -> Option<WclEvent> {
+        let msg_id = msg_id_of_token(token);
+        let mut p = self.pending.remove(&msg_id)?;
+        if p.attempts > self.cfg.max_retries {
+            ctx.metrics().count("wcl.route_exhausted", 1);
+            return Some(WclEvent::RouteFailed {
+                msg_id,
+                dest: p.dest.node,
+                no_alternative: false,
+            });
+        }
+        let retry = self.try_send(
+            ctx,
+            nylon,
+            &p.dest,
+            &p.payload,
+            &p.used_first_mixes,
+            &p.used_gateways,
+        );
+        match retry {
+            Some((a, b)) => {
+                ctx.metrics().count("wcl.route_retry", 1);
+                p.attempts += 1;
+                p.used_first_mixes.push(a);
+                p.used_gateways.push(b);
+                self.pending.insert(msg_id, p);
+                ctx.set_timer(self.cfg.retry_timeout, retry_token(msg_id));
+                None
+            }
+            None => {
+                ctx.metrics().count("wcl.route_no_alt", 1);
+                Some(WclEvent::RouteFailed {
+                    msg_id,
+                    dest: p.dest.node,
+                    no_alternative: true,
+                })
+            }
+        }
+    }
+
+    /// Builds a path avoiding `avoid_a` / `avoid_b` and sends. Returns the
+    /// `(A, B)` pair used, or `None` when no path can be constructed.
+    fn try_send(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        nylon: &mut NylonCore,
+        dest: &DestInfo,
+        payload: &[u8],
+        avoid_a: &[NodeId],
+        avoid_b: &[NodeId],
+    ) -> Option<(NodeId, NodeId)> {
+        let me = nylon.id();
+        let now = ctx.now();
+
+        // Gateway B: a P-node able to reach D. For NATted destinations it
+        // must come from the destination's advertised gateways; public
+        // destinations accept any P-node we know (paper §IV-B), preferring
+        // our CB publics.
+        let mut b_candidates: Vec<GatewayInfo> = if dest.public {
+            let mut from_cb: Vec<GatewayInfo> = nylon
+                .cb()
+                .publics()
+                .filter(|e| e.node != dest.node && e.node != me)
+                .filter_map(|e| e.key.clone().map(|key| GatewayInfo { node: e.node, key }))
+                .collect();
+            if from_cb.is_empty() {
+                from_cb = dest.gateways.clone();
+            }
+            from_cb
+        } else {
+            dest.gateways.clone()
+        };
+        b_candidates.retain(|g| !avoid_b.contains(&g.node) && g.node != me && g.node != dest.node);
+
+        // First mix A: a CB entry with a known key and a still-open path
+        // from us. Falls back to B candidates as a degenerate choice only
+        // if the CB is empty (bootstrap corner).
+        let mut a_candidates: Vec<(NodeId, bool, PublicKey)> = nylon
+            .cb()
+            .iter()
+            .filter(|e| {
+                e.node != dest.node
+                    && e.node != me
+                    && !avoid_a.contains(&e.node)
+                    && e.key.is_some()
+                    && nylon.can_reach_directly(e.node, e.public, now)
+            })
+            .map(|e| (e.node, e.public, e.key.clone().expect("filtered")))
+            .collect();
+
+        // Mixes must be distinct: drop A candidates equal to the chosen B
+        // later; choose B first for simplicity.
+        let b = {
+            let mut rngs: Vec<&GatewayInfo> = b_candidates.iter().collect();
+            rngs.shuffle(ctx.rng());
+            rngs.first().map(|g| (*g).clone())
+        }?;
+        a_candidates.retain(|(n, _, _)| *n != b.node);
+        if a_candidates.is_empty() {
+            return None;
+        }
+        let a = a_candidates[ctx.rng().gen_range(0..a_candidates.len())].clone();
+
+        // Intermediate extra mixes for paths longer than 2 (ablation):
+        // additional P-nodes from the CB between A and B.
+        let mut path: Vec<(PublicKey, Vec<u8>)> = Vec::with_capacity(self.cfg.mixes + 1);
+        path.push((a.2.clone(), hop_addr(a.0, a.1)));
+        if self.cfg.mixes > 2 {
+            let extras: Vec<GatewayInfo> = nylon
+                .cb()
+                .publics()
+                .filter(|e| {
+                    e.node != a.0 && e.node != b.node && e.node != dest.node && e.node != me
+                })
+                .filter_map(|e| e.key.clone().map(|key| GatewayInfo { node: e.node, key }))
+                .take(self.cfg.mixes - 2)
+                .collect();
+            if extras.len() < self.cfg.mixes - 2 {
+                return None;
+            }
+            for extra in extras {
+                path.push((extra.key, hop_addr(extra.node, true)));
+            }
+        }
+        path.push((b.key.clone(), hop_addr(b.node, true)));
+        path.push((dest.key.clone(), hop_addr(dest.node, dest.public)));
+
+        let cost_before = whisper_crypto::costs::snapshot();
+        let build_started = std::time::Instant::now();
+        let packet = match onion::build_onion(&path, payload, ctx.rng()) {
+            Ok(p) => p,
+            Err(_) => return None,
+        };
+        let build_us = build_started.elapsed().as_nanos() as f64 / 1000.0;
+        let cost = whisper_crypto::costs::snapshot().since(cost_before);
+        ctx.metrics().sample("wcl.build_path_us", build_us);
+        let class = if nylon.is_public() { "p" } else { "n" };
+        ctx.metrics().sample(
+            if class == "p" { "crypto.rsa_us.pnode" } else { "crypto.rsa_us.nnode" },
+            cost.rsa_ns as f64 / 1000.0,
+        );
+        ctx.metrics().sample(
+            if class == "p" { "crypto.aes_us.pnode" } else { "crypto.aes_us.nnode" },
+            cost.aes_ns as f64 / 1000.0,
+        );
+        let wire = WclPacket { header: packet.header, body: packet.body }.to_wire();
+        ctx.metrics().count("wcl.paths_built", 1);
+        let outcome = nylon.send_app(ctx, a.0, a.1, &[], wire);
+        if outcome == SendOutcome::Failed {
+            return None;
+        }
+        Some((a.0, b.node))
+    }
+
+    /// Processes an incoming Nylon `App` payload. If it is a WCL packet
+    /// this node either relays it (one onion layer peeled) or delivers it
+    /// (destination layer).
+    ///
+    /// Returns `None` if the payload is not a WCL packet (the caller may
+    /// try other parsers).
+    pub fn on_app_payload(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        nylon: &mut NylonCore,
+        data: &[u8],
+    ) -> Option<WclEvent> {
+        let packet = WclPacket::from_wire(data).ok()?;
+        let keypair = nylon.keypair().clone();
+        let cost_before = whisper_crypto::costs::snapshot();
+        let peel_started = std::time::Instant::now();
+        let peeled = onion::peel_with_body(&keypair, &packet.header, &packet.body);
+        let peel_us = peel_started.elapsed().as_nanos() as f64 / 1000.0;
+        let cost = whisper_crypto::costs::snapshot().since(cost_before);
+        ctx.metrics().sample("wcl.peel_us", peel_us);
+        let class = if nylon.is_public() { "p" } else { "n" };
+        ctx.metrics().sample(
+            if class == "p" { "crypto.rsa_us.pnode" } else { "crypto.rsa_us.nnode" },
+            cost.rsa_ns as f64 / 1000.0,
+        );
+        ctx.metrics().sample(
+            if class == "p" { "crypto.aes_us.pnode" } else { "crypto.aes_us.nnode" },
+            cost.aes_ns as f64 / 1000.0,
+        );
+        match peeled {
+            Ok(PeelResult::Relay { next_hop, header }) => {
+                let Some((next, next_public)) = parse_hop_addr(&next_hop) else {
+                    ctx.metrics().count("wcl.bad_next_hop", 1);
+                    return None;
+                };
+                ctx.metrics().count("wcl.relayed", 1);
+                let fwd = WclPacket { header, body: packet.body }.to_wire();
+                // A mix reaches the next hop through an existing contact
+                // (B → D relies on D's earlier ping) or directly when the
+                // next hop is public. No rendezvous chains here: a mix
+                // must not interrogate the network about the next hop.
+                let outcome = nylon.send_app(ctx, next, next_public, &[], fwd);
+                if outcome == SendOutcome::Failed {
+                    ctx.metrics().count("wcl.relay_drop", 1);
+                }
+                None
+            }
+            Ok(PeelResult::Destination { payload }) => {
+                ctx.metrics().count("wcl.delivered", 1);
+                Some(WclEvent::Delivered { payload })
+            }
+            Err(_) => {
+                ctx.metrics().count("wcl.peel_failed", 1);
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_token_round_trip() {
+        let t = retry_token(42);
+        assert_eq!(t & 0xFF, TIMER_WCL_RETRY);
+        assert_eq!(msg_id_of_token(t), 42);
+    }
+
+    #[test]
+    fn msg_ids_are_unique() {
+        let mut wcl = Wcl::new(WclConfig::default());
+        let a = wcl.alloc_msg_id();
+        let b = wcl.alloc_msg_id();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one mix")]
+    fn zero_mixes_rejected() {
+        Wcl::new(WclConfig { mixes: 0, ..WclConfig::default() });
+    }
+
+    #[test]
+    fn wcl_packet_wire_round_trip() {
+        let p = WclPacket { header: vec![1, 2, 3], body: vec![4, 5] };
+        let bytes = p.to_wire();
+        assert_eq!(WclPacket::from_wire(&bytes).unwrap(), p);
+        assert!(WclPacket::from_wire(&[0xFF, 0, 0]).is_err());
+    }
+}

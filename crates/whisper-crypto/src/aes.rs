@@ -1,0 +1,373 @@
+// The reference algorithms (FIPS 197, TAOCP 4.3.1, CIOS) are specified
+// index-wise; keeping the indices makes them auditable against the spec.
+#![allow(clippy::needless_range_loop)]
+
+//! The AES-128 block cipher (FIPS 197) and a CTR stream mode, implemented
+//! from scratch.
+//!
+//! WHISPER (paper §III-A) encrypts message contents with a random symmetric
+//! key `k` using AES; the onion header carries `k` to the destination.
+//!
+//! ```
+//! use whisper_crypto::aes::{Aes128, AesKey, CtrNonce};
+//!
+//! let key = AesKey([0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+//!                   0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c]);
+//! let cipher = Aes128::new(&key);
+//! let nonce = CtrNonce([0; 8]);
+//! let ct = cipher.ctr_apply(&nonce, b"attack at dawn");
+//! assert_eq!(cipher.ctr_apply(&nonce, &ct), b"attack at dawn");
+//! ```
+
+use rand::Rng;
+
+/// A 128-bit AES key.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AesKey(pub [u8; 16]);
+
+impl AesKey {
+    /// Draws a uniformly random key.
+    pub fn random<R: Rng>(rng: &mut R) -> Self {
+        let mut k = [0u8; 16];
+        rng.fill(&mut k);
+        AesKey(k)
+    }
+}
+
+impl std::fmt::Debug for AesKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key material.
+        write!(f, "AesKey(..)")
+    }
+}
+
+/// A 64-bit CTR nonce; the remaining 64 bits of the counter block count
+/// blocks, limiting a single message to 2^64 blocks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub struct CtrNonce(pub [u8; 8]);
+
+impl CtrNonce {
+    /// Draws a uniformly random nonce.
+    pub fn random<R: Rng>(rng: &mut R) -> Self {
+        let mut n = [0u8; 8];
+        rng.fill(&mut n);
+        CtrNonce(n)
+    }
+}
+
+/// AES S-box.
+const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
+    0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0,
+    0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75,
+    0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84,
+    0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8,
+    0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5, 0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2,
+    0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb,
+    0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+    0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a,
+    0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e,
+    0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
+];
+
+/// Inverse S-box, computed at first use.
+fn inv_sbox() -> &'static [u8; 256] {
+    use std::sync::OnceLock;
+    static INV: OnceLock<[u8; 256]> = OnceLock::new();
+    INV.get_or_init(|| {
+        let mut inv = [0u8; 256];
+        for (i, &s) in SBOX.iter().enumerate() {
+            inv[s as usize] = i as u8;
+        }
+        inv
+    })
+}
+
+const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+
+/// Multiplication in GF(2^8) with the AES polynomial.
+fn gmul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    for _ in 0..8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        let hi = a & 0x80 != 0;
+        a <<= 1;
+        if hi {
+            a ^= 0x1b;
+        }
+        b >>= 1;
+    }
+    p
+}
+
+/// An expanded AES-128 cipher instance (11 round keys).
+#[derive(Clone)]
+pub struct Aes128 {
+    round_keys: [[u8; 16]; 11],
+}
+
+impl std::fmt::Debug for Aes128 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Aes128(..)")
+    }
+}
+
+impl Aes128 {
+    /// Expands `key` into the round key schedule.
+    pub fn new(key: &AesKey) -> Self {
+        let mut w = [[0u8; 4]; 44];
+        for i in 0..4 {
+            w[i].copy_from_slice(&key.0[i * 4..i * 4 + 4]);
+        }
+        for i in 4..44 {
+            let mut temp = w[i - 1];
+            if i % 4 == 0 {
+                temp.rotate_left(1);
+                for byte in &mut temp {
+                    *byte = SBOX[*byte as usize];
+                }
+                temp[0] ^= RCON[i / 4 - 1];
+            }
+            for j in 0..4 {
+                w[i][j] = w[i - 4][j] ^ temp[j];
+            }
+        }
+        let mut round_keys = [[0u8; 16]; 11];
+        for r in 0..11 {
+            for c in 0..4 {
+                round_keys[r][c * 4..c * 4 + 4].copy_from_slice(&w[r * 4 + c]);
+            }
+        }
+        Aes128 { round_keys }
+    }
+
+    /// Encrypts one 16-byte block in place.
+    pub fn encrypt_block(&self, block: &mut [u8; 16]) {
+        add_round_key(block, &self.round_keys[0]);
+        for round in 1..10 {
+            sub_bytes(block);
+            shift_rows(block);
+            mix_columns(block);
+            add_round_key(block, &self.round_keys[round]);
+        }
+        sub_bytes(block);
+        shift_rows(block);
+        add_round_key(block, &self.round_keys[10]);
+    }
+
+    /// Decrypts one 16-byte block in place.
+    pub fn decrypt_block(&self, block: &mut [u8; 16]) {
+        add_round_key(block, &self.round_keys[10]);
+        inv_shift_rows(block);
+        inv_sub_bytes(block);
+        for round in (1..10).rev() {
+            add_round_key(block, &self.round_keys[round]);
+            inv_mix_columns(block);
+            inv_shift_rows(block);
+            inv_sub_bytes(block);
+        }
+        add_round_key(block, &self.round_keys[0]);
+    }
+
+    /// Applies the CTR keystream; encryption and decryption are the same
+    /// operation. Returns a buffer of the same length as `data`.
+    ///
+    /// Elapsed time is accounted in [`crate::costs`].
+    pub fn ctr_apply(&self, nonce: &CtrNonce, data: &[u8]) -> Vec<u8> {
+        let started = std::time::Instant::now();
+        let mut out = Vec::with_capacity(data.len());
+        let mut counter_block = [0u8; 16];
+        counter_block[..8].copy_from_slice(&nonce.0);
+        for (block_idx, chunk) in data.chunks(16).enumerate() {
+            counter_block[8..].copy_from_slice(&(block_idx as u64).to_be_bytes());
+            let mut keystream = counter_block;
+            self.encrypt_block(&mut keystream);
+            for (i, &byte) in chunk.iter().enumerate() {
+                out.push(byte ^ keystream[i]);
+            }
+        }
+        crate::costs::add_aes(started.elapsed().as_nanos() as u64);
+        out
+    }
+}
+
+/// State layout: column-major, `state[c*4 + r]` = row r, column c (matching
+/// the byte order of FIPS 197 inputs).
+fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+    for i in 0..16 {
+        state[i] ^= rk[i];
+    }
+}
+
+fn sub_bytes(state: &mut [u8; 16]) {
+    for b in state.iter_mut() {
+        *b = SBOX[*b as usize];
+    }
+}
+
+fn inv_sub_bytes(state: &mut [u8; 16]) {
+    let inv = inv_sbox();
+    for b in state.iter_mut() {
+        *b = inv[*b as usize];
+    }
+}
+
+fn shift_rows(state: &mut [u8; 16]) {
+    for r in 1..4 {
+        let row = [state[r], state[4 + r], state[8 + r], state[12 + r]];
+        for c in 0..4 {
+            state[c * 4 + r] = row[(c + r) % 4];
+        }
+    }
+}
+
+fn inv_shift_rows(state: &mut [u8; 16]) {
+    for r in 1..4 {
+        let row = [state[r], state[4 + r], state[8 + r], state[12 + r]];
+        for c in 0..4 {
+            state[c * 4 + r] = row[(c + 4 - r) % 4];
+        }
+    }
+}
+
+fn mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [state[c * 4], state[c * 4 + 1], state[c * 4 + 2], state[c * 4 + 3]];
+        state[c * 4] = gmul(col[0], 2) ^ gmul(col[1], 3) ^ col[2] ^ col[3];
+        state[c * 4 + 1] = col[0] ^ gmul(col[1], 2) ^ gmul(col[2], 3) ^ col[3];
+        state[c * 4 + 2] = col[0] ^ col[1] ^ gmul(col[2], 2) ^ gmul(col[3], 3);
+        state[c * 4 + 3] = gmul(col[0], 3) ^ col[1] ^ col[2] ^ gmul(col[3], 2);
+    }
+}
+
+fn inv_mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [state[c * 4], state[c * 4 + 1], state[c * 4 + 2], state[c * 4 + 3]];
+        state[c * 4] = gmul(col[0], 14) ^ gmul(col[1], 11) ^ gmul(col[2], 13) ^ gmul(col[3], 9);
+        state[c * 4 + 1] = gmul(col[0], 9) ^ gmul(col[1], 14) ^ gmul(col[2], 11) ^ gmul(col[3], 13);
+        state[c * 4 + 2] = gmul(col[0], 13) ^ gmul(col[1], 9) ^ gmul(col[2], 14) ^ gmul(col[3], 11);
+        state[c * 4 + 3] = gmul(col[0], 11) ^ gmul(col[1], 13) ^ gmul(col[2], 9) ^ gmul(col[3], 14);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// FIPS 197 Appendix B test vector.
+    #[test]
+    fn fips197_appendix_b() {
+        let key = AesKey([
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ]);
+        let cipher = Aes128::new(&key);
+        let mut block = [
+            0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
+            0x07, 0x34,
+        ];
+        cipher.encrypt_block(&mut block);
+        assert_eq!(
+            block,
+            [
+                0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97, 0x19,
+                0x6a, 0x0b, 0x32
+            ]
+        );
+    }
+
+    /// FIPS 197 Appendix C.1 (AES-128) known-answer test.
+    #[test]
+    fn fips197_appendix_c1() {
+        let key = AesKey([
+            0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d,
+            0x0e, 0x0f,
+        ]);
+        let cipher = Aes128::new(&key);
+        let mut block = [
+            0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd,
+            0xee, 0xff,
+        ];
+        cipher.encrypt_block(&mut block);
+        assert_eq!(
+            block,
+            [
+                0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70,
+                0xb4, 0xc5, 0x5a
+            ]
+        );
+    }
+
+    #[test]
+    fn decrypt_inverts_encrypt() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let key = AesKey::random(&mut rng);
+        let cipher = Aes128::new(&key);
+        for _ in 0..50 {
+            let mut block = [0u8; 16];
+            rng.fill(&mut block);
+            let original = block;
+            cipher.encrypt_block(&mut block);
+            assert_ne!(block, original);
+            cipher.decrypt_block(&mut block);
+            assert_eq!(block, original);
+        }
+    }
+
+    #[test]
+    fn ctr_round_trip_all_lengths() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let key = AesKey::random(&mut rng);
+        let nonce = CtrNonce::random(&mut rng);
+        let cipher = Aes128::new(&key);
+        for len in [0usize, 1, 15, 16, 17, 31, 32, 33, 1000] {
+            let data: Vec<u8> = (0..len).map(|i| i as u8).collect();
+            let ct = cipher.ctr_apply(&nonce, &data);
+            assert_eq!(ct.len(), len);
+            assert_eq!(cipher.ctr_apply(&nonce, &ct), data, "len {len}");
+        }
+    }
+
+    #[test]
+    fn ctr_different_nonces_differ() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let key = AesKey::random(&mut rng);
+        let cipher = Aes128::new(&key);
+        let data = vec![0u8; 64];
+        let a = cipher.ctr_apply(&CtrNonce([0; 8]), &data);
+        let b = cipher.ctr_apply(&CtrNonce([1, 0, 0, 0, 0, 0, 0, 0]), &data);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn gmul_spot_checks() {
+        assert_eq!(gmul(0x57, 0x83), 0xc1); // FIPS 197 §4.2 example
+        assert_eq!(gmul(0x57, 0x13), 0xfe);
+        assert_eq!(gmul(1, 0xab), 0xab);
+        assert_eq!(gmul(0, 0xab), 0);
+    }
+
+    #[test]
+    fn sbox_inverse_is_consistent() {
+        let inv = inv_sbox();
+        for i in 0..=255u8 {
+            assert_eq!(inv[SBOX[i as usize] as usize], i);
+        }
+    }
+
+    #[test]
+    fn debug_never_prints_key_material() {
+        let key = AesKey([0xAA; 16]);
+        assert!(!format!("{key:?}").contains("AA"));
+        assert!(!format!("{:?}", Aes128::new(&key)).contains("170"));
+    }
+}

@@ -1,0 +1,109 @@
+//! Karatsuba multiplication for large operands.
+//!
+//! Schoolbook multiplication is O(n²) in the limb count; Karatsuba
+//! recursion brings products of large values to O(n^1.58) by trading one
+//! of the four half-size multiplications for a handful of additions:
+//!
+//! ```text
+//! x·y = z2·B² + z1·B + z0     with  B = 2^(64·half)
+//! z2 = xh·yh,  z0 = xl·yl,  z1 = (xh+xl)(yh+yl) − z2 − z0
+//! ```
+//!
+//! RSA-sized operands (6–32 limbs) sit near the break-even point, so the
+//! threshold below keeps small products on the schoolbook path;
+//! [`BigUint::mul`] dispatches automatically.
+
+use super::BigUint;
+
+/// Operands with at least this many limbs on both sides take the
+/// Karatsuba path. Below it, schoolbook's lower constant wins.
+pub(crate) const KARATSUBA_THRESHOLD: usize = 16;
+
+impl BigUint {
+    /// Karatsuba product of `self` and `other`. Exposed crate-wide so the
+    /// dispatching [`BigUint::mul`] and the tests can call it directly.
+    pub(crate) fn mul_karatsuba(&self, other: &BigUint) -> BigUint {
+        let n = self.limbs.len().max(other.limbs.len());
+        if self.limbs.len() < KARATSUBA_THRESHOLD || other.limbs.len() < KARATSUBA_THRESHOLD {
+            return self.mul_schoolbook(other);
+        }
+        let half = n / 2;
+        let (xl, xh) = self.split_at_limb(half);
+        let (yl, yh) = other.split_at_limb(half);
+
+        let z0 = xl.mul_karatsuba(&yl);
+        let z2 = xh.mul_karatsuba(&yh);
+        let z1 = xl
+            .add(&xh)
+            .mul_karatsuba(&yl.add(&yh))
+            .sub(&z2)
+            .sub(&z0);
+
+        z2.shl(half * 128).add(&z1.shl(half * 64)).add(&z0)
+    }
+
+    /// Splits into (low `at` limbs, remaining high limbs).
+    fn split_at_limb(&self, at: usize) -> (BigUint, BigUint) {
+        if self.limbs.len() <= at {
+            return (self.clone(), BigUint::zero());
+        }
+        (
+            BigUint::from_limbs(self.limbs[..at].to_vec()),
+            BigUint::from_limbs(self.limbs[at..].to_vec()),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_big(limbs: usize, rng: &mut StdRng) -> BigUint {
+        BigUint::from_limbs((0..limbs).map(|_| rng.gen()).collect())
+    }
+
+    #[test]
+    fn matches_schoolbook_across_sizes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for (la, lb) in [(16, 16), (17, 23), (32, 32), (40, 8), (8, 40), (64, 64)] {
+            let a = random_big(la, &mut rng);
+            let b = random_big(lb, &mut rng);
+            assert_eq!(
+                a.mul_karatsuba(&b),
+                a.mul_schoolbook(&b),
+                "{la}x{lb} limbs"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_operands() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = random_big(20, &mut rng);
+        assert_eq!(a.mul_karatsuba(&BigUint::zero()), BigUint::zero());
+        assert_eq!(a.mul_karatsuba(&BigUint::one()), a);
+    }
+
+    #[test]
+    fn split_reassembles() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = random_big(20, &mut rng);
+        for at in [0usize, 1, 10, 19, 20, 25] {
+            let (lo, hi) = a.split_at_limb(at);
+            assert_eq!(hi.shl(at * 64).add(&lo), a, "split at {at}");
+        }
+    }
+
+    #[test]
+    fn dispatching_mul_uses_it_transparently() {
+        // The public `mul` must agree with both engines at the boundary.
+        let mut rng = StdRng::seed_from_u64(4);
+        for limbs in [15usize, 16, 17, 31, 33] {
+            let a = random_big(limbs, &mut rng);
+            let b = random_big(limbs, &mut rng);
+            assert_eq!(a.mul(&b), a.mul_schoolbook(&b), "{limbs} limbs");
+        }
+    }
+}

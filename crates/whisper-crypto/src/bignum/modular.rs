@@ -1,0 +1,354 @@
+// The reference algorithms (FIPS 197, TAOCP 4.3.1, CIOS) are specified
+// index-wise; keeping the indices makes them auditable against the spec.
+#![allow(clippy::needless_range_loop)]
+
+//! Modular arithmetic: Montgomery-accelerated exponentiation and modular
+//! inverses.
+
+use super::BigUint;
+
+/// Montgomery context for a fixed odd modulus.
+///
+/// Conversion into Montgomery form costs one division; each multiplication
+/// inside the domain is then division-free (CIOS algorithm).
+pub(crate) struct Montgomery {
+    m: Vec<u64>,
+    /// `-m[0]^-1 mod 2^64`.
+    n0: u64,
+    /// `R^2 mod m` where `R = 2^(64*len)` — used to enter the domain.
+    r2: BigUint,
+}
+
+impl Montgomery {
+    /// Creates a context.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is even or zero.
+    pub fn new(modulus: &BigUint) -> Self {
+        assert!(!modulus.is_zero() && !modulus.is_even(), "Montgomery modulus must be odd");
+        let m = modulus.limbs.clone();
+        let n0 = inv64(m[0]).wrapping_neg();
+        // R^2 mod m computed as 2^(128*len) mod m via shifting.
+        let r2 = BigUint::one().shl(m.len() * 64 * 2).rem(modulus);
+        Montgomery { m, n0, r2 }
+    }
+
+    fn len(&self) -> usize {
+        self.m.len()
+    }
+
+    /// CIOS Montgomery multiplication: returns `a * b * R^-1 mod m`.
+    /// `a` and `b` are limb vectors of length `len()` (zero padded).
+    fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let n = self.len();
+        let mut t = vec![0u64; n + 2];
+        for i in 0..n {
+            // t += a[i] * b
+            let mut carry: u128 = 0;
+            for j in 0..n {
+                let s = t[j] as u128 + a[i] as u128 * b[j] as u128 + carry;
+                t[j] = s as u64;
+                carry = s >> 64;
+            }
+            let s = t[n] as u128 + carry;
+            t[n] = s as u64;
+            t[n + 1] = (s >> 64) as u64;
+
+            // Reduce: make t divisible by 2^64 and shift down one limb.
+            let u = t[0].wrapping_mul(self.n0);
+            let mut carry: u128 = (t[0] as u128 + u as u128 * self.m[0] as u128) >> 64;
+            for j in 1..n {
+                let s = t[j] as u128 + u as u128 * self.m[j] as u128 + carry;
+                t[j - 1] = s as u64;
+                carry = s >> 64;
+            }
+            let s = t[n] as u128 + carry;
+            t[n - 1] = s as u64;
+            t[n] = t[n + 1] + (s >> 64) as u64;
+            t[n + 1] = 0;
+        }
+        // Result is t[0..=n] and is < 2m: subtract m if needed.
+        let needs_sub = t[n] != 0 || cmp_limbs(&t[..n], &self.m) != std::cmp::Ordering::Less;
+        let mut out = t[..n].to_vec();
+        if needs_sub {
+            let mut borrow: i128 = 0;
+            for i in 0..n {
+                let d = out[i] as i128 - self.m[i] as i128 - borrow;
+                if d < 0 {
+                    out[i] = (d + (1i128 << 64)) as u64;
+                    borrow = 1;
+                } else {
+                    out[i] = d as u64;
+                    borrow = 0;
+                }
+            }
+            debug_assert_eq!(borrow as u64, t[n]);
+        }
+        out
+    }
+
+    fn pad(&self, v: &BigUint) -> Vec<u64> {
+        let mut l = v.limbs.clone();
+        l.resize(self.len(), 0);
+        l
+    }
+
+    /// Converts `v` (already `< m`) into the Montgomery domain.
+    fn to_mont(&self, v: &BigUint) -> Vec<u64> {
+        self.mont_mul(&self.pad(v), &self.pad(&self.r2))
+    }
+
+    /// Leaves the Montgomery domain.
+    #[allow(clippy::wrong_self_convention)] // converts `v`, not `self`
+    fn from_mont(&self, v: &[u64]) -> BigUint {
+        let one = {
+            let mut l = vec![0u64; self.len()];
+            l[0] = 1;
+            l
+        };
+        BigUint::from_limbs(self.mont_mul(v, &one))
+    }
+
+    /// Computes `base^exp mod m` by left-to-right square-and-multiply.
+    pub fn pow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        if exp.is_zero() {
+            return BigUint::one().rem(&BigUint::from_limbs(self.m.clone()));
+        }
+        let base = base.rem(&BigUint::from_limbs(self.m.clone()));
+        let mb = self.to_mont(&base);
+        let mut acc = self.to_mont(&BigUint::one());
+        for i in (0..exp.bits()).rev() {
+            acc = self.mont_mul(&acc, &acc);
+            if exp.bit(i) {
+                acc = self.mont_mul(&acc, &mb);
+            }
+        }
+        self.from_mont(&acc)
+    }
+}
+
+fn cmp_limbs(a: &[u64], b: &[u64]) -> std::cmp::Ordering {
+    debug_assert_eq!(a.len(), b.len());
+    for i in (0..a.len()).rev() {
+        match a[i].cmp(&b[i]) {
+            std::cmp::Ordering::Equal => continue,
+            o => return o,
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+/// Inverse of an odd `m` modulo 2^64 by Newton iteration.
+fn inv64(m: u64) -> u64 {
+    debug_assert!(m & 1 == 1);
+    let mut x = m; // correct to 3 bits
+    for _ in 0..5 {
+        x = x.wrapping_mul(2u64.wrapping_sub(m.wrapping_mul(x)));
+    }
+    debug_assert_eq!(m.wrapping_mul(x), 1);
+    x
+}
+
+impl BigUint {
+    /// Computes `self^exp mod modulus`.
+    ///
+    /// Uses Montgomery multiplication for odd moduli and a generic
+    /// square-and-multiply with explicit reduction otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is zero.
+    pub fn modpow(&self, exp: &BigUint, modulus: &BigUint) -> BigUint {
+        assert!(!modulus.is_zero(), "modpow with zero modulus");
+        if modulus.is_one() {
+            return BigUint::zero();
+        }
+        if !modulus.is_even() {
+            return Montgomery::new(modulus).pow(self, exp);
+        }
+        // Rare in this codebase (RSA moduli and MR candidates are odd) but
+        // kept for completeness.
+        let mut acc = BigUint::one();
+        let base = self.rem(modulus);
+        for i in (0..exp.bits()).rev() {
+            acc = acc.mul(&acc).rem(modulus);
+            if exp.bit(i) {
+                acc = acc.mul(&base).rem(modulus);
+            }
+        }
+        acc
+    }
+
+    /// Computes the multiplicative inverse of `self` modulo `modulus`, if
+    /// `gcd(self, modulus) == 1`.
+    pub fn modinv(&self, modulus: &BigUint) -> Option<BigUint> {
+        if modulus.is_zero() || modulus.is_one() {
+            return None;
+        }
+        // Extended Euclid, tracking only the Bezout coefficient of `self`.
+        // Coefficients are signed; we carry (magnitude, negative?) pairs.
+        let mut r0 = self.rem(modulus);
+        let mut r1 = modulus.clone();
+        if r0.is_zero() {
+            return None;
+        }
+        let mut t0 = (BigUint::one(), false);
+        let mut t1 = (BigUint::zero(), false);
+        while !r1.is_zero() {
+            let (q, r) = r0.div_rem(&r1);
+            // (t0, t1) = (t1, t0 - q * t1)
+            let qt1 = (q.mul(&t1.0), t1.1);
+            let new_t = signed_sub(&t0, &qt1);
+            r0 = std::mem::replace(&mut r1, r);
+            t0 = std::mem::replace(&mut t1, new_t);
+        }
+        if !r0.is_one() {
+            return None;
+        }
+        let (mag, neg) = t0;
+        let mag = mag.rem(modulus);
+        if neg && !mag.is_zero() {
+            Some(modulus.sub(&mag))
+        } else {
+            Some(mag)
+        }
+    }
+
+    /// Computes `gcd(self, other)` by the Euclidean algorithm.
+    pub fn gcd(&self, other: &BigUint) -> BigUint {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        while !b.is_zero() {
+            let r = a.rem(&b);
+            a = std::mem::replace(&mut b, r);
+        }
+        a
+    }
+}
+
+/// `a - b` on (magnitude, negative?) signed pairs.
+fn signed_sub(a: &(BigUint, bool), b: &(BigUint, bool)) -> (BigUint, bool) {
+    match (a.1, b.1) {
+        (false, true) => (a.0.add(&b.0), false),  // a + |b|
+        (true, false) => (a.0.add(&b.0), true),   // -(|a| + b)
+        (false, false) => {
+            if a.0 >= b.0 {
+                (a.0.sub(&b.0), false)
+            } else {
+                (b.0.sub(&a.0), true)
+            }
+        }
+        (true, true) => {
+            // -|a| + |b|
+            if b.0 >= a.0 {
+                (b.0.sub(&a.0), false)
+            } else {
+                (a.0.sub(&b.0), true)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big(v: u64) -> BigUint {
+        BigUint::from(v)
+    }
+
+    #[test]
+    fn modpow_small() {
+        assert_eq!(big(2).modpow(&big(10), &big(1000)), big(24));
+        assert_eq!(big(3).modpow(&big(0), &big(7)), big(1));
+        assert_eq!(big(5).modpow(&big(117), &big(19)), big(1)); // 5^18 ≡ 1, 117 = 6*18+9 → 5^9 mod 19
+    }
+
+    #[test]
+    fn modpow_fermat() {
+        // Fermat's little theorem: a^(p-1) ≡ 1 mod p for prime p.
+        let p = big(1_000_000_007);
+        for a in [2u64, 3, 12345, 999_999_999] {
+            assert_eq!(big(a).modpow(&p.sub(&big(1)), &p), big(1));
+        }
+    }
+
+    #[test]
+    fn modpow_even_modulus() {
+        assert_eq!(big(7).modpow(&big(3), &big(10)), big(3)); // 343 mod 10
+        assert_eq!(big(7).modpow(&big(3), &big(1)), BigUint::zero());
+    }
+
+    #[test]
+    fn modpow_multi_limb() {
+        // Check Montgomery against the naive path on a multi-limb odd modulus.
+        let m = BigUint::from_limbs(vec![0xffff_ffff_ffff_ff61, 0x1234_5678_9abc_def1]);
+        let base = BigUint::from_limbs(vec![0xdead_beef, 0xcafe]);
+        let exp = big(65537);
+        let fast = base.modpow(&exp, &m);
+        // Naive square-and-multiply with explicit reduction.
+        let mut acc = BigUint::one();
+        for i in (0..exp.bits()).rev() {
+            acc = acc.mul(&acc).rem(&m);
+            if exp.bit(i) {
+                acc = acc.mul(&base).rem(&m);
+            }
+        }
+        assert_eq!(fast, acc);
+    }
+
+    #[test]
+    fn inv64_works() {
+        for m in [1u64, 3, 5, 0xffff_ffff_ffff_ffff, 0x1234_5678_9abc_def1] {
+            assert_eq!(m.wrapping_mul(inv64(m)), 1);
+        }
+    }
+
+    #[test]
+    fn modinv_basic() {
+        let inv = big(3).modinv(&big(7)).unwrap();
+        assert_eq!(inv, big(5)); // 3*5 = 15 ≡ 1 mod 7
+        assert_eq!(big(2).modinv(&big(4)), None); // gcd 2
+        assert_eq!(big(0).modinv(&big(7)), None);
+    }
+
+    #[test]
+    fn modinv_round_trip() {
+        let m = big(1_000_000_007);
+        for a in [2u64, 3, 999, 123_456_789] {
+            let inv = big(a).modinv(&m).unwrap();
+            assert_eq!(big(a).mul(&inv).rem(&m), big(1));
+        }
+    }
+
+    #[test]
+    fn modinv_multi_limb() {
+        let m = BigUint::from_limbs(vec![0xffff_ffff_ffff_ff61, 0x1234_5678_9abc_def1]);
+        let a = BigUint::from_limbs(vec![0x1111_2222, 0x42]);
+        let inv = a.modinv(&m).unwrap();
+        assert_eq!(a.mul(&inv).rem(&m), BigUint::one());
+    }
+
+    #[test]
+    fn gcd_basic() {
+        assert_eq!(big(12).gcd(&big(18)), big(6));
+        assert_eq!(big(17).gcd(&big(13)), big(1));
+        assert_eq!(big(0).gcd(&big(5)), big(5));
+    }
+
+    #[test]
+    fn montgomery_round_trip() {
+        let m = BigUint::from_limbs(vec![0xffff_ffff_ffff_ff61, 0x1234_5678_9abc_def1]);
+        let ctx = Montgomery::new(&m);
+        let v = BigUint::from_limbs(vec![0xabcdef, 0x77]);
+        let domain = ctx.to_mont(&v);
+        assert_eq!(ctx.from_mont(&domain), v);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn montgomery_rejects_even() {
+        Montgomery::new(&big(10));
+    }
+}

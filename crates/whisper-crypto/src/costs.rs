@@ -1,0 +1,102 @@
+//! Thread-local CPU cost accounting for cryptographic operations.
+//!
+//! The paper's Table II reports the CPU time nodes spend in AES and RSA
+//! per PPSS cycle. To reproduce it honestly, the [`aes`](crate::aes) and
+//! [`rsa`](crate::rsa) modules time their own hot operations with
+//! `std::time::Instant` and accumulate the elapsed nanoseconds here; the
+//! experiment harness snapshots the counters around each protocol
+//! operation and attributes the delta to the node that executed it.
+//!
+//! The accounting is thread-local (the simulator is single-threaded) and
+//! costs nothing when nobody reads it beyond two `Instant::now()` calls
+//! per crypto operation.
+
+use std::cell::Cell;
+
+thread_local! {
+    static AES_NS: Cell<u64> = const { Cell::new(0) };
+    static RSA_NS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// A snapshot of the accumulated costs, in nanoseconds.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CryptoCosts {
+    /// Time spent in AES operations.
+    pub aes_ns: u64,
+    /// Time spent in RSA operations (modular exponentiations).
+    pub rsa_ns: u64,
+}
+
+impl CryptoCosts {
+    /// Element-wise difference (`self` must be the later snapshot).
+    pub fn since(self, earlier: CryptoCosts) -> CryptoCosts {
+        CryptoCosts {
+            aes_ns: self.aes_ns.saturating_sub(earlier.aes_ns),
+            rsa_ns: self.rsa_ns.saturating_sub(earlier.rsa_ns),
+        }
+    }
+}
+
+/// Reads the accumulated counters for this thread.
+pub fn snapshot() -> CryptoCosts {
+    CryptoCosts { aes_ns: AES_NS.get(), rsa_ns: RSA_NS.get() }
+}
+
+/// Resets the counters for this thread.
+pub fn reset() {
+    AES_NS.set(0);
+    RSA_NS.set(0);
+}
+
+pub(crate) fn add_aes(ns: u64) {
+    AES_NS.set(AES_NS.get().wrapping_add(ns));
+}
+
+pub(crate) fn add_rsa(ns: u64) {
+    RSA_NS.set(RSA_NS.get().wrapping_add(ns));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        reset();
+        add_aes(10);
+        add_rsa(20);
+        add_aes(5);
+        let c = snapshot();
+        assert_eq!(c, CryptoCosts { aes_ns: 15, rsa_ns: 20 });
+        reset();
+        assert_eq!(snapshot(), CryptoCosts::default());
+    }
+
+    #[test]
+    fn since_is_saturating_difference() {
+        let a = CryptoCosts { aes_ns: 10, rsa_ns: 5 };
+        let b = CryptoCosts { aes_ns: 25, rsa_ns: 5 };
+        assert_eq!(b.since(a), CryptoCosts { aes_ns: 15, rsa_ns: 0 });
+        assert_eq!(a.since(b), CryptoCosts { aes_ns: 0, rsa_ns: 0 });
+    }
+
+    #[test]
+    fn real_operations_are_accounted() {
+        use crate::aes::{Aes128, AesKey, CtrNonce};
+        use crate::rsa::{KeyPair, RsaKeySize};
+        use rand::SeedableRng;
+        reset();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let cipher = Aes128::new(&AesKey::random(&mut rng));
+        let _ = cipher.ctr_apply(&CtrNonce::random(&mut rng), &[0u8; 4096]);
+        let aes_only = snapshot();
+        assert!(aes_only.aes_ns > 0, "AES time recorded");
+        assert_eq!(aes_only.rsa_ns, 0);
+
+        let kp = KeyPair::generate(RsaKeySize::Sim384, &mut rng);
+        let ct = kp.public().encrypt(b"x", &mut rng).unwrap();
+        let _ = kp.decrypt(&ct).unwrap();
+        let both = snapshot();
+        assert!(both.rsa_ns > 0, "RSA time recorded");
+    }
+}

@@ -1,0 +1,193 @@
+//! Hybrid encryption: RSA-sealed AES session keys.
+//!
+//! An onion layer (or any message larger than an RSA block) is protected by
+//! drawing a fresh AES-128 key `k` and CTR nonce, encrypting the payload
+//! with AES-CTR, and sealing `k ‖ nonce` under the recipient's RSA public
+//! key. This mirrors how WHISPER encodes content "using symmetric
+//! encryption with a random key k" whose transport is protected by the
+//! mixes' public keys (paper §III-A).
+
+use crate::aes::{Aes128, AesKey, CtrNonce};
+use crate::rsa::{KeyPair, PublicKey};
+use crate::CryptoError;
+use rand::Rng;
+
+/// A hybrid-encrypted blob: RSA-encrypted header carrying the AES session
+/// key, followed by the AES-CTR body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SealedBlob {
+    /// RSA ciphertext of `key ‖ nonce` (length = modulus size).
+    pub sealed_key: Vec<u8>,
+    /// AES-CTR encrypted payload.
+    pub body: Vec<u8>,
+}
+
+impl SealedBlob {
+    /// Total wire size in bytes.
+    pub fn wire_len(&self) -> usize {
+        2 + self.sealed_key.len() + 4 + self.body.len()
+    }
+
+    /// Serializes to `len16(sealed_key) ‖ sealed_key ‖ len32(body) ‖ body`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.wire_len());
+        out.extend_from_slice(&(self.sealed_key.len() as u16).to_be_bytes());
+        out.extend_from_slice(&self.sealed_key);
+        out.extend_from_slice(&(self.body.len() as u32).to_be_bytes());
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Parses a blob serialized by [`to_bytes`](Self::to_bytes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::MalformedSealedBlob`] on truncated or
+    /// oversized input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CryptoError> {
+        let err = CryptoError::MalformedSealedBlob;
+        if bytes.len() < 2 {
+            return Err(err);
+        }
+        let klen = u16::from_be_bytes([bytes[0], bytes[1]]) as usize;
+        let sealed_key = bytes.get(2..2 + klen).ok_or(err.clone())?.to_vec();
+        let rest = &bytes[2 + klen..];
+        if rest.len() < 4 {
+            return Err(err);
+        }
+        let blen = u32::from_be_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+        let body = rest.get(4..4 + blen).ok_or(err.clone())?.to_vec();
+        if rest.len() != 4 + blen {
+            return Err(err);
+        }
+        Ok(SealedBlob { sealed_key, body })
+    }
+}
+
+/// Size of the sealed header payload: 16-byte AES key + 8-byte CTR nonce.
+const SESSION_SECRET_LEN: usize = 24;
+
+/// Seals `plaintext` for `recipient`.
+///
+/// # Errors
+///
+/// Returns an error if the recipient's modulus is too small to carry a
+/// session secret (all supported [`RsaKeySize`](crate::rsa::RsaKeySize)s
+/// are large enough).
+pub fn seal<R: Rng>(
+    recipient: &PublicKey,
+    plaintext: &[u8],
+    rng: &mut R,
+) -> Result<SealedBlob, CryptoError> {
+    let key = AesKey::random(rng);
+    let nonce = CtrNonce::random(rng);
+    let mut secret = [0u8; SESSION_SECRET_LEN];
+    secret[..16].copy_from_slice(&key.0);
+    secret[16..].copy_from_slice(&nonce.0);
+    let sealed_key = recipient.encrypt(&secret, rng)?;
+    let body = Aes128::new(&key).ctr_apply(&nonce, plaintext);
+    Ok(SealedBlob { sealed_key, body })
+}
+
+/// Opens a blob sealed for `keypair`'s public key.
+///
+/// # Errors
+///
+/// Fails with [`CryptoError::InvalidPadding`] or
+/// [`CryptoError::MalformedSealedBlob`] when the blob was sealed for a
+/// different key or has been corrupted.
+pub fn open(keypair: &KeyPair, blob: &SealedBlob) -> Result<Vec<u8>, CryptoError> {
+    let secret = keypair.decrypt(&blob.sealed_key)?;
+    if secret.len() != SESSION_SECRET_LEN {
+        return Err(CryptoError::MalformedSealedBlob);
+    }
+    let mut key = [0u8; 16];
+    key.copy_from_slice(&secret[..16]);
+    let mut nonce = [0u8; 8];
+    nonce.copy_from_slice(&secret[16..]);
+    Ok(Aes128::new(&AesKey(key)).ctr_apply(&CtrNonce(nonce), &blob.body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rsa::RsaKeySize;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (KeyPair, StdRng) {
+        let mut rng = StdRng::seed_from_u64(99);
+        let kp = KeyPair::generate(RsaKeySize::Sim384, &mut rng);
+        (kp, rng)
+    }
+
+    #[test]
+    fn seal_open_round_trip() {
+        let (kp, mut rng) = setup();
+        for len in [0usize, 1, 100, 5000] {
+            let msg: Vec<u8> = (0..len).map(|i| (i * 7) as u8).collect();
+            let blob = seal(kp.public(), &msg, &mut rng).unwrap();
+            assert_eq!(open(&kp, &blob).unwrap(), msg, "len {len}");
+        }
+    }
+
+    #[test]
+    fn open_with_wrong_key_fails() {
+        let (kp, mut rng) = setup();
+        let other = KeyPair::generate(RsaKeySize::Sim384, &mut rng);
+        let blob = seal(kp.public(), b"secret", &mut rng).unwrap();
+        assert!(open(&other, &blob).is_err());
+    }
+
+    #[test]
+    fn ciphertext_differs_from_plaintext() {
+        let (kp, mut rng) = setup();
+        let msg = b"confidential group traffic".to_vec();
+        let blob = seal(kp.public(), &msg, &mut rng).unwrap();
+        assert_ne!(blob.body, msg);
+        // No plaintext substring leaks into the body.
+        assert!(!blob
+            .body
+            .windows(5)
+            .any(|w| msg.windows(5).any(|m| m == w)));
+    }
+
+    #[test]
+    fn sealing_twice_differs() {
+        let (kp, mut rng) = setup();
+        let a = seal(kp.public(), b"same message", &mut rng).unwrap();
+        let b = seal(kp.public(), b"same message", &mut rng).unwrap();
+        assert_ne!(a.sealed_key, b.sealed_key);
+        assert_ne!(a.body, b.body);
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        let (kp, mut rng) = setup();
+        let blob = seal(kp.public(), b"wire format", &mut rng).unwrap();
+        let bytes = blob.to_bytes();
+        assert_eq!(bytes.len(), blob.wire_len());
+        assert_eq!(SealedBlob::from_bytes(&bytes).unwrap(), blob);
+    }
+
+    #[test]
+    fn truncated_wire_rejected() {
+        let (kp, mut rng) = setup();
+        let bytes = seal(kp.public(), b"wire format", &mut rng).unwrap().to_bytes();
+        for cut in [0, 1, 10, bytes.len() - 1] {
+            assert!(SealedBlob::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        // Trailing garbage is rejected too.
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(SealedBlob::from_bytes(&extended).is_err());
+    }
+
+    #[test]
+    fn corrupted_header_fails_open() {
+        let (kp, mut rng) = setup();
+        let mut blob = seal(kp.public(), b"payload", &mut rng).unwrap();
+        blob.sealed_key[5] ^= 0xFF;
+        assert!(open(&kp, &blob).is_err());
+    }
+}

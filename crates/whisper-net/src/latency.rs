@@ -1,0 +1,230 @@
+//! Link latency and loss models.
+//!
+//! The paper evaluates on two environments: a 1 Gbps switched cluster
+//! (1,000 nodes multiplexed over 22 machines) and a 400-node PlanetLab
+//! slice with "heavily loaded machines, larger network delays and high
+//! message loss rates" (§V-E). [`NetProfile::cluster`] and
+//! [`NetProfile::planetlab`] are calibrated to those descriptions: the
+//! cluster profile combines sub-millisecond links with a small host
+//! multiplexing delay; the PlanetLab profile uses a heavy-tailed
+//! (log-normal) delay distribution plus message loss.
+
+use crate::time::SimDuration;
+use rand::Rng;
+
+/// A sampling distribution over one-way message delays.
+#[derive(Clone, Debug)]
+pub enum LatencyModel {
+    /// Fixed delay.
+    Constant(SimDuration),
+    /// Uniform in `[min, max]`.
+    Uniform {
+        /// Lower bound.
+        min: SimDuration,
+        /// Upper bound (inclusive).
+        max: SimDuration,
+    },
+    /// Log-normal delay with the given median and shape `sigma`, clamped
+    /// to `[min, cap]`. Heavy-tailed, PlanetLab-like.
+    LogNormal {
+        /// Median delay in milliseconds.
+        median_ms: f64,
+        /// Log-space standard deviation (larger = heavier tail).
+        sigma: f64,
+        /// Minimum delay.
+        min: SimDuration,
+        /// Cap on the tail.
+        cap: SimDuration,
+    },
+}
+
+impl LatencyModel {
+    /// Draws one delay.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> SimDuration {
+        match self {
+            LatencyModel::Constant(d) => *d,
+            LatencyModel::Uniform { min, max } => {
+                let (lo, hi) = (min.as_micros(), max.as_micros());
+                SimDuration::from_micros(rng.gen_range(lo..=hi.max(lo)))
+            }
+            LatencyModel::LogNormal { median_ms, sigma, min, cap } => {
+                // Box–Muller transform for a standard normal draw.
+                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.gen();
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                let ms = median_ms * (sigma * z).exp();
+                let us = (ms * 1_000.0).round().max(0.0) as u64;
+                SimDuration::from_micros(
+                    us.clamp(min.as_micros(), cap.as_micros()),
+                )
+            }
+        }
+    }
+
+    /// Expected (mean) delay, used by tests and planning heuristics.
+    pub fn mean(&self) -> SimDuration {
+        match self {
+            LatencyModel::Constant(d) => *d,
+            LatencyModel::Uniform { min, max } => {
+                SimDuration::from_micros((min.as_micros() + max.as_micros()) / 2)
+            }
+            LatencyModel::LogNormal { median_ms, sigma, min, cap } => {
+                let mean_ms = median_ms * (sigma * sigma / 2.0).exp();
+                let us = (mean_ms * 1_000.0) as u64;
+                SimDuration::from_micros(us.clamp(min.as_micros(), cap.as_micros()))
+            }
+        }
+    }
+}
+
+/// A complete network environment: link delays, per-host processing
+/// delays, and loss.
+#[derive(Clone, Debug)]
+pub struct NetProfile {
+    /// One-way link propagation delay.
+    pub link: LatencyModel,
+    /// Per-message processing/multiplexing delay at the receiving host
+    /// (models many simulated nodes sharing a physical machine, as in the
+    /// paper's deployments).
+    pub processing: LatencyModel,
+    /// Probability that a message is silently lost, in `[0, 1]`.
+    pub loss: f64,
+}
+
+impl NetProfile {
+    /// Switched-cluster profile (paper testbed 1).
+    pub fn cluster() -> Self {
+        NetProfile {
+            link: LatencyModel::Uniform {
+                min: SimDuration::from_micros(200),
+                max: SimDuration::from_millis(1),
+            },
+            processing: LatencyModel::Uniform {
+                min: SimDuration::from_millis(2),
+                max: SimDuration::from_millis(25),
+            },
+            loss: 0.0,
+        }
+    }
+
+    /// PlanetLab profile (paper testbed 2): heavy-tailed wide-area delays,
+    /// loaded hosts, message loss.
+    pub fn planetlab() -> Self {
+        NetProfile {
+            link: LatencyModel::LogNormal {
+                median_ms: 60.0,
+                sigma: 0.9,
+                min: SimDuration::from_millis(5),
+                cap: SimDuration::from_secs(3),
+            },
+            processing: LatencyModel::LogNormal {
+                median_ms: 30.0,
+                sigma: 1.1,
+                min: SimDuration::from_millis(1),
+                cap: SimDuration::from_secs(5),
+            },
+            loss: 0.02,
+        }
+    }
+
+    /// Instant, lossless delivery — unit tests that assert on protocol
+    /// logic rather than timing.
+    pub fn ideal() -> Self {
+        NetProfile {
+            link: LatencyModel::Constant(SimDuration::from_micros(1)),
+            processing: LatencyModel::Constant(SimDuration::ZERO),
+            loss: 0.0,
+        }
+    }
+
+    /// Samples a total one-way delay for a message.
+    pub fn sample_delay<R: Rng>(&self, rng: &mut R) -> SimDuration {
+        self.link.sample(rng) + self.processing.sample(rng)
+    }
+
+    /// Samples whether a message is lost.
+    pub fn sample_loss<R: Rng>(&self, rng: &mut R) -> bool {
+        self.loss > 0.0 && rng.gen_bool(self.loss)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constant_is_constant() {
+        let m = LatencyModel::Constant(SimDuration::from_millis(7));
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(m.sample(&mut rng).as_millis(), 7);
+        }
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds() {
+        let m = LatencyModel::Uniform {
+            min: SimDuration::from_millis(2),
+            max: SimDuration::from_millis(9),
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let d = m.sample(&mut rng);
+            assert!(d >= SimDuration::from_millis(2) && d <= SimDuration::from_millis(9));
+        }
+    }
+
+    #[test]
+    fn lognormal_median_roughly_right() {
+        let m = LatencyModel::LogNormal {
+            median_ms: 60.0,
+            sigma: 0.9,
+            min: SimDuration::ZERO,
+            cap: SimDuration::from_secs(100),
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut samples: Vec<u64> = (0..5000).map(|_| m.sample(&mut rng).as_micros()).collect();
+        samples.sort_unstable();
+        let median_ms = samples[2500] as f64 / 1000.0;
+        assert!((median_ms - 60.0).abs() < 6.0, "median {median_ms}");
+    }
+
+    #[test]
+    fn lognormal_respects_cap_and_min() {
+        let m = LatencyModel::LogNormal {
+            median_ms: 60.0,
+            sigma: 2.0,
+            min: SimDuration::from_millis(10),
+            cap: SimDuration::from_millis(100),
+        };
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..2000 {
+            let d = m.sample(&mut rng);
+            assert!(d >= SimDuration::from_millis(10));
+            assert!(d <= SimDuration::from_millis(100));
+        }
+    }
+
+    #[test]
+    fn planetlab_is_slower_and_lossier_than_cluster() {
+        let pl = NetProfile::planetlab();
+        let cl = NetProfile::cluster();
+        assert!(pl.link.mean() > cl.link.mean());
+        assert!(pl.loss > cl.loss);
+        let mut rng = StdRng::seed_from_u64(5);
+        let lost = (0..10_000).filter(|_| pl.sample_loss(&mut rng)).count();
+        let rate = lost as f64 / 10_000.0;
+        assert!((rate - pl.loss).abs() < 0.01);
+        assert!(!(0..10_000).any(|_| cl.sample_loss(&mut rng)));
+    }
+
+    #[test]
+    fn ideal_profile_is_fast_and_lossless() {
+        let p = NetProfile::ideal();
+        let mut rng = StdRng::seed_from_u64(6);
+        assert!(p.sample_delay(&mut rng) <= SimDuration::from_micros(1));
+        assert!(!p.sample_loss(&mut rng));
+    }
+}

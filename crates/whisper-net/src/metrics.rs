@@ -1,0 +1,188 @@
+//! Measurement plumbing: per-node traffic accounting and generic named
+//! counters / sample series.
+//!
+//! The simulator credits every sent and delivered message automatically
+//! (including an IP+UDP header overhead, so "bandwidth" means what a host
+//! would see on its uplink). Protocols additionally record their own
+//! counters (e.g. WCL route successes) and sample series (e.g. RSA CPU
+//! time per operation) through [`Metrics`].
+
+use crate::id::NodeId;
+use std::collections::BTreeMap;
+
+/// Bytes of IP + UDP headers charged to every message.
+pub const HEADER_OVERHEAD: usize = 28;
+
+/// Cumulative traffic of one node.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Traffic {
+    /// Bytes sent (uplink), headers included.
+    pub up_bytes: u64,
+    /// Bytes received (downlink), headers included.
+    pub down_bytes: u64,
+    /// Messages sent.
+    pub up_msgs: u64,
+    /// Messages delivered.
+    pub down_msgs: u64,
+}
+
+/// Metric sink shared by the simulator and all protocols.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    counters: BTreeMap<&'static str, u64>,
+    samples: BTreeMap<&'static str, Vec<f64>>,
+    traffic: BTreeMap<NodeId, Traffic>,
+}
+
+impl Metrics {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Increments counter `name` by `delta`.
+    pub fn count(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Current value of counter `name` (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Appends a sample to series `name`.
+    pub fn sample(&mut self, name: &'static str, value: f64) {
+        self.samples.entry(name).or_default().push(value);
+    }
+
+    /// All samples recorded under `name`.
+    pub fn samples(&self, name: &str) -> &[f64] {
+        self.samples.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Names of all counters, sorted.
+    pub fn counter_names(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.counters.keys().copied()
+    }
+
+    /// Names of all sample series, sorted.
+    pub fn sample_names(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.samples.keys().copied()
+    }
+
+    /// Credits an outgoing message of `payload_len` bytes to `node`.
+    pub fn record_up(&mut self, node: NodeId, payload_len: usize) {
+        let t = self.traffic.entry(node).or_default();
+        t.up_bytes += (payload_len + HEADER_OVERHEAD) as u64;
+        t.up_msgs += 1;
+    }
+
+    /// Credits a delivered message of `payload_len` bytes to `node`.
+    pub fn record_down(&mut self, node: NodeId, payload_len: usize) {
+        let t = self.traffic.entry(node).or_default();
+        t.down_bytes += (payload_len + HEADER_OVERHEAD) as u64;
+        t.down_msgs += 1;
+    }
+
+    /// Cumulative traffic of `node`.
+    pub fn traffic(&self, node: NodeId) -> Traffic {
+        self.traffic.get(&node).copied().unwrap_or_default()
+    }
+
+    /// Snapshot of every node's cumulative traffic; diff two snapshots to
+    /// get per-epoch bandwidth.
+    pub fn traffic_snapshot(&self) -> BTreeMap<NodeId, Traffic> {
+        self.traffic.clone()
+    }
+
+    /// Resets counters and samples but keeps traffic (useful between
+    /// warm-up and measurement phases).
+    pub fn reset_counters_and_samples(&mut self) {
+        self.counters.clear();
+        self.samples.clear();
+    }
+}
+
+/// Difference in traffic between two snapshots, per node.
+pub fn traffic_delta(
+    before: &BTreeMap<NodeId, Traffic>,
+    after: &BTreeMap<NodeId, Traffic>,
+) -> BTreeMap<NodeId, Traffic> {
+    let mut out = BTreeMap::new();
+    for (&node, &t_after) in after {
+        let t_before = before.get(&node).copied().unwrap_or_default();
+        out.insert(
+            node,
+            Traffic {
+                up_bytes: t_after.up_bytes - t_before.up_bytes,
+                down_bytes: t_after.down_bytes - t_before.down_bytes,
+                up_msgs: t_after.up_msgs - t_before.up_msgs,
+                down_msgs: t_after.down_msgs - t_before.down_msgs,
+            },
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::new();
+        m.count("x", 2);
+        m.count("x", 3);
+        assert_eq!(m.counter("x"), 5);
+        assert_eq!(m.counter("unknown"), 0);
+    }
+
+    #[test]
+    fn samples_accumulate() {
+        let mut m = Metrics::new();
+        m.sample("rtt", 1.0);
+        m.sample("rtt", 2.5);
+        assert_eq!(m.samples("rtt"), &[1.0, 2.5]);
+        assert!(m.samples("other").is_empty());
+    }
+
+    #[test]
+    fn traffic_includes_header_overhead() {
+        let mut m = Metrics::new();
+        let n = NodeId(1);
+        m.record_up(n, 100);
+        m.record_down(n, 50);
+        let t = m.traffic(n);
+        assert_eq!(t.up_bytes, 100 + HEADER_OVERHEAD as u64);
+        assert_eq!(t.down_bytes, 50 + HEADER_OVERHEAD as u64);
+        assert_eq!(t.up_msgs, 1);
+        assert_eq!(t.down_msgs, 1);
+    }
+
+    #[test]
+    fn snapshot_delta() {
+        let mut m = Metrics::new();
+        let n = NodeId(1);
+        m.record_up(n, 100);
+        let before = m.traffic_snapshot();
+        m.record_up(n, 200);
+        m.record_down(NodeId(2), 10);
+        let after = m.traffic_snapshot();
+        let delta = traffic_delta(&before, &after);
+        assert_eq!(delta[&n].up_bytes, 200 + HEADER_OVERHEAD as u64);
+        assert_eq!(delta[&n].up_msgs, 1);
+        assert_eq!(delta[&NodeId(2)].down_msgs, 1);
+    }
+
+    #[test]
+    fn reset_keeps_traffic() {
+        let mut m = Metrics::new();
+        m.count("c", 1);
+        m.sample("s", 1.0);
+        m.record_up(NodeId(1), 10);
+        m.reset_counters_and_samples();
+        assert_eq!(m.counter("c"), 0);
+        assert!(m.samples("s").is_empty());
+        assert_eq!(m.traffic(NodeId(1)).up_msgs, 1);
+    }
+}

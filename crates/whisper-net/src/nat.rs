@@ -1,0 +1,441 @@
+//! NAT device emulation.
+//!
+//! Reproduces the SPLAY NAT-emulation feature described in paper §V-A: the
+//! four major device types (`full_cone`, `restricted_cone`,
+//! `port_restricted_cone`, `sym`), per-connection filtering rules
+//! following RFC 5382/4787 semantics, and association-rule lease times.
+//!
+//! Ports are allocated honestly — cone devices reuse one external port for
+//! every destination while symmetric devices allocate a fresh port per
+//! remote endpoint — so hole-punching outcomes *emerge* from the filter
+//! rules rather than being table-driven. [`can_hole_punch`] states the
+//! expected theoretical outcome and the test suite checks that emulation
+//! and theory agree.
+
+use crate::id::{Endpoint, NodeId};
+use crate::time::{SimDuration, SimTime};
+use rand::Rng;
+
+/// The NAT behaviour of a simulated host.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum NatType {
+    /// Directly reachable host (a "P-node" in the paper).
+    Public,
+    /// Full-cone NAT: once a mapping exists, any remote endpoint may send
+    /// to it.
+    FullCone,
+    /// Restricted-cone NAT: inbound allowed only from hosts the internal
+    /// node has contacted.
+    RestrictedCone,
+    /// Port-restricted-cone NAT: inbound allowed only from exact
+    /// host:port endpoints the internal node has contacted.
+    PortRestrictedCone,
+    /// Symmetric NAT: a distinct external port per remote endpoint;
+    /// inbound allowed only from that exact endpoint.
+    Symmetric,
+}
+
+impl NatType {
+    /// The four NATted types, in the paper's order.
+    pub const NATTED: [NatType; 4] = [
+        NatType::FullCone,
+        NatType::RestrictedCone,
+        NatType::PortRestrictedCone,
+        NatType::Symmetric,
+    ];
+
+    /// Whether this host is directly reachable (a P-node).
+    pub fn is_public(self) -> bool {
+        matches!(self, NatType::Public)
+    }
+}
+
+/// Whether RV-coordinated hole punching can establish a direct
+/// bidirectional session between hosts behind NATs of types `a` and `b`.
+///
+/// Sessions involving a symmetric NAT fail against port-sensitive filters
+/// (the other side cannot predict the fresh per-destination port); all
+/// other combinations succeed. This mirrors the observation the paper
+/// cites from NATCracker \[20\] and is verified against the packet-level
+/// emulation by this crate's tests.
+pub fn can_hole_punch(a: NatType, b: NatType) -> bool {
+    use NatType::*;
+    match (a, b) {
+        (Public, _) | (_, Public) => true,
+        (Symmetric, Symmetric) => false,
+        (Symmetric, PortRestrictedCone) | (PortRestrictedCone, Symmetric) => false,
+        _ => true,
+    }
+}
+
+/// Distribution of NAT types over a node population.
+#[derive(Clone, Copy, Debug)]
+pub struct NatDistribution {
+    /// Fraction of public nodes in `[0, 1]`.
+    pub public_ratio: f64,
+}
+
+impl NatDistribution {
+    /// The paper's default: 70% of nodes behind NAT devices, evenly split
+    /// between the four types (§V-A, following Casado & Freedman \[4\]).
+    pub fn paper_default() -> Self {
+        NatDistribution { public_ratio: 0.30 }
+    }
+
+    /// A distribution with the given fraction of public nodes; NATted
+    /// nodes are split evenly between the four device types.
+    pub fn with_public_ratio(public_ratio: f64) -> Self {
+        assert!((0.0..=1.0).contains(&public_ratio));
+        NatDistribution { public_ratio }
+    }
+
+    /// Samples a NAT type.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> NatType {
+        if rng.gen_bool(self.public_ratio) {
+            NatType::Public
+        } else {
+            NatType::NATTED[rng.gen_range(0..4)]
+        }
+    }
+}
+
+/// State of one emulated NAT device (one per simulated host).
+#[derive(Debug, Clone)]
+pub struct NatDevice {
+    nat_type: NatType,
+    mappings: Vec<Mapping>,
+    next_port: u16,
+}
+
+#[derive(Debug, Clone)]
+struct Mapping {
+    external_port: u16,
+    /// For symmetric devices, the single remote endpoint this mapping was
+    /// created towards; `None` for cone devices (one mapping per host).
+    symmetric_remote: Option<Endpoint>,
+    /// Remote endpoints the internal host has sent to through this
+    /// mapping, with association-rule expiry times.
+    contacts: Vec<(Endpoint, SimTime)>,
+}
+
+impl Mapping {
+    fn prune(&mut self, now: SimTime) {
+        self.contacts.retain(|&(_, exp)| exp > now);
+    }
+
+    fn alive(&self, now: SimTime) -> bool {
+        self.contacts.iter().any(|&(_, exp)| exp > now)
+    }
+}
+
+impl NatDevice {
+    /// Creates a device of the given type.
+    pub fn new(nat_type: NatType) -> Self {
+        NatDevice { nat_type, mappings: Vec::new(), next_port: 1 }
+    }
+
+    /// The device type.
+    pub fn nat_type(&self) -> NatType {
+        self.nat_type
+    }
+
+    /// Registers an outbound packet towards `dst` and returns the external
+    /// source port the packet leaves with (0 for public hosts).
+    ///
+    /// Creates or refreshes the association rule, whose lease expires at
+    /// `now + lease`.
+    pub fn outbound(&mut self, dst: Endpoint, now: SimTime, lease: SimDuration) -> u16 {
+        if self.nat_type.is_public() {
+            return 0;
+        }
+        let expires = now + lease;
+        let idx = match self.nat_type {
+            NatType::Symmetric => self
+                .mappings
+                .iter()
+                .position(|m| m.symmetric_remote == Some(dst) && m.alive(now)),
+            _ => self.mappings.iter().position(|m| m.alive(now)),
+        };
+        let idx = match idx {
+            Some(i) => i,
+            None => {
+                let port = self.alloc_port(now);
+                self.mappings.push(Mapping {
+                    external_port: port,
+                    symmetric_remote: (self.nat_type == NatType::Symmetric).then_some(dst),
+                    contacts: Vec::new(),
+                });
+                self.mappings.len() - 1
+            }
+        };
+        let mapping = &mut self.mappings[idx];
+        mapping.prune(now);
+        match mapping.contacts.iter_mut().find(|(ep, _)| *ep == dst) {
+            Some(entry) => entry.1 = expires,
+            None => mapping.contacts.push((dst, expires)),
+        }
+        mapping.external_port
+    }
+
+    /// Filters an inbound packet addressed to external port `dst_port`
+    /// arriving from `src`. Returns `true` if the device delivers it to
+    /// the internal host.
+    pub fn inbound(&mut self, dst_port: u16, src: Endpoint, now: SimTime) -> bool {
+        if self.nat_type.is_public() {
+            return true;
+        }
+        let Some(mapping) = self
+            .mappings
+            .iter_mut()
+            .find(|m| m.external_port == dst_port)
+        else {
+            return false;
+        };
+        mapping.prune(now);
+        if mapping.contacts.is_empty() {
+            return false; // all association rules expired
+        }
+        match self.nat_type {
+            NatType::Public => true,
+            NatType::FullCone => true,
+            NatType::RestrictedCone => {
+                mapping.contacts.iter().any(|(ep, _)| ep.node == src.node)
+            }
+            NatType::PortRestrictedCone => mapping.contacts.iter().any(|(ep, _)| *ep == src),
+            NatType::Symmetric => mapping.symmetric_remote == Some(src),
+        }
+    }
+
+    /// The current external port the host would use towards `dst`, if an
+    /// unexpired mapping exists.
+    pub fn external_port_towards(&self, dst: Endpoint, now: SimTime) -> Option<u16> {
+        match self.nat_type {
+            NatType::Public => Some(0),
+            NatType::Symmetric => self
+                .mappings
+                .iter()
+                .find(|m| m.symmetric_remote == Some(dst) && m.alive(now))
+                .map(|m| m.external_port),
+            _ => self
+                .mappings
+                .iter()
+                .find(|m| m.alive(now))
+                .map(|m| m.external_port),
+        }
+    }
+
+    /// Number of live mappings (diagnostics).
+    pub fn live_mappings(&self, now: SimTime) -> usize {
+        self.mappings.iter().filter(|m| m.alive(now)).count()
+    }
+
+    fn alloc_port(&mut self, now: SimTime) -> u16 {
+        // Garbage-collect dead mappings occasionally so long simulations
+        // with symmetric devices do not grow without bound.
+        if self.mappings.len() > 512 {
+            self.mappings.retain(|m| m.alive(now));
+        }
+        let port = self.next_port;
+        self.next_port = self.next_port.wrapping_add(1).max(1);
+        port
+    }
+}
+
+/// Convenience wrapper: the NAT state of every host in a simulation.
+#[derive(Debug, Default)]
+pub struct NatTable {
+    devices: std::collections::HashMap<NodeId, NatDevice>,
+}
+
+impl NatTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        NatTable::default()
+    }
+
+    /// Registers a host.
+    pub fn insert(&mut self, node: NodeId, nat_type: NatType) {
+        self.devices.insert(node, NatDevice::new(nat_type));
+    }
+
+    /// Removes a host (e.g. on churn departure), dropping all its
+    /// association state.
+    pub fn remove(&mut self, node: NodeId) {
+        self.devices.remove(&node);
+    }
+
+    /// The NAT type of `node`, if registered.
+    pub fn nat_type(&self, node: NodeId) -> Option<NatType> {
+        self.devices.get(&node).map(|d| d.nat_type())
+    }
+
+    /// Mutable access to a host's device.
+    pub fn device_mut(&mut self, node: NodeId) -> Option<&mut NatDevice> {
+        self.devices.get_mut(&node)
+    }
+
+    /// Shared access to a host's device.
+    pub fn device(&self, node: NodeId) -> Option<&NatDevice> {
+        self.devices.get(&node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ep(node: u64, port: u16) -> Endpoint {
+        Endpoint { node: NodeId(node), port }
+    }
+
+    const LEASE: SimDuration = SimDuration::from_micros(300_000_000); // 300 s
+    const T0: SimTime = SimTime::ZERO;
+
+    #[test]
+    fn public_passes_everything() {
+        let mut d = NatDevice::new(NatType::Public);
+        assert_eq!(d.outbound(ep(2, 0), T0, LEASE), 0);
+        assert!(d.inbound(0, ep(99, 7), T0));
+    }
+
+    #[test]
+    fn cone_reuses_one_port() {
+        for t in [NatType::FullCone, NatType::RestrictedCone, NatType::PortRestrictedCone] {
+            let mut d = NatDevice::new(t);
+            let p1 = d.outbound(ep(2, 0), T0, LEASE);
+            let p2 = d.outbound(ep(3, 0), T0, LEASE);
+            assert_eq!(p1, p2, "{t:?} must reuse its port");
+        }
+    }
+
+    #[test]
+    fn symmetric_allocates_per_destination() {
+        let mut d = NatDevice::new(NatType::Symmetric);
+        let p1 = d.outbound(ep(2, 0), T0, LEASE);
+        let p2 = d.outbound(ep(3, 0), T0, LEASE);
+        let p1_again = d.outbound(ep(2, 0), T0, LEASE);
+        assert_ne!(p1, p2);
+        assert_eq!(p1, p1_again);
+    }
+
+    #[test]
+    fn full_cone_accepts_any_source_once_open() {
+        let mut d = NatDevice::new(NatType::FullCone);
+        let port = d.outbound(ep(2, 0), T0, LEASE);
+        assert!(d.inbound(port, ep(99, 5), T0));
+    }
+
+    #[test]
+    fn restricted_cone_filters_by_host() {
+        let mut d = NatDevice::new(NatType::RestrictedCone);
+        let port = d.outbound(ep(2, 9), T0, LEASE);
+        assert!(d.inbound(port, ep(2, 1234), T0), "same host, other port: pass");
+        assert!(!d.inbound(port, ep(3, 9), T0), "other host: blocked");
+    }
+
+    #[test]
+    fn port_restricted_cone_filters_by_endpoint() {
+        let mut d = NatDevice::new(NatType::PortRestrictedCone);
+        let port = d.outbound(ep(2, 9), T0, LEASE);
+        assert!(d.inbound(port, ep(2, 9), T0));
+        assert!(!d.inbound(port, ep(2, 10), T0), "same host, wrong port: blocked");
+        assert!(!d.inbound(port, ep(3, 9), T0));
+    }
+
+    #[test]
+    fn symmetric_filters_by_exact_mapping() {
+        let mut d = NatDevice::new(NatType::Symmetric);
+        let p_to_2 = d.outbound(ep(2, 9), T0, LEASE);
+        let p_to_3 = d.outbound(ep(3, 4), T0, LEASE);
+        assert!(d.inbound(p_to_2, ep(2, 9), T0));
+        assert!(!d.inbound(p_to_2, ep(3, 4), T0), "wrong mapping");
+        assert!(d.inbound(p_to_3, ep(3, 4), T0));
+        assert!(!d.inbound(p_to_2, ep(2, 10), T0), "same host, wrong source port");
+    }
+
+    #[test]
+    fn unknown_port_blocked() {
+        let mut d = NatDevice::new(NatType::FullCone);
+        assert!(!d.inbound(42, ep(2, 0), T0));
+    }
+
+    #[test]
+    fn lease_expiry_closes_the_hole() {
+        let mut d = NatDevice::new(NatType::RestrictedCone);
+        let port = d.outbound(ep(2, 0), T0, LEASE);
+        let just_before = T0 + LEASE - SimDuration::from_micros(1);
+        assert!(d.inbound(port, ep(2, 0), just_before));
+        let after = T0 + LEASE + SimDuration::from_micros(1);
+        assert!(!d.inbound(port, ep(2, 0), after), "association expired");
+    }
+
+    #[test]
+    fn refreshing_extends_the_lease() {
+        let mut d = NatDevice::new(NatType::RestrictedCone);
+        let port = d.outbound(ep(2, 0), T0, LEASE);
+        let mid = T0 + SimDuration::from_secs(200);
+        assert_eq!(d.outbound(ep(2, 0), mid, LEASE), port);
+        let late = T0 + SimDuration::from_secs(400); // past original lease
+        assert!(d.inbound(port, ep(2, 0), late));
+    }
+
+    #[test]
+    fn expired_symmetric_mapping_gets_fresh_port() {
+        let mut d = NatDevice::new(NatType::Symmetric);
+        let p1 = d.outbound(ep(2, 0), T0, LEASE);
+        let later = T0 + LEASE + SimDuration::from_secs(1);
+        let p2 = d.outbound(ep(2, 0), later, LEASE);
+        assert_ne!(p1, p2, "new session, new port");
+    }
+
+    #[test]
+    fn hole_punch_matrix() {
+        use NatType::*;
+        // Symmetric pairs with port-sensitive filters fail, all else works.
+        assert!(!can_hole_punch(Symmetric, Symmetric));
+        assert!(!can_hole_punch(Symmetric, PortRestrictedCone));
+        assert!(!can_hole_punch(PortRestrictedCone, Symmetric));
+        assert!(can_hole_punch(Symmetric, FullCone));
+        assert!(can_hole_punch(Symmetric, RestrictedCone));
+        assert!(can_hole_punch(FullCone, FullCone));
+        assert!(can_hole_punch(RestrictedCone, PortRestrictedCone));
+        for t in [FullCone, RestrictedCone, PortRestrictedCone, Symmetric] {
+            assert!(can_hole_punch(Public, t));
+            assert!(can_hole_punch(t, Public));
+        }
+    }
+
+    #[test]
+    fn distribution_respects_public_ratio() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let dist = NatDistribution::paper_default();
+        let n = 10_000;
+        let mut public = 0;
+        let mut by_type = std::collections::HashMap::new();
+        for _ in 0..n {
+            let t = dist.sample(&mut rng);
+            if t.is_public() {
+                public += 1;
+            } else {
+                *by_type.entry(t).or_insert(0usize) += 1;
+            }
+        }
+        let ratio = public as f64 / n as f64;
+        assert!((ratio - 0.30).abs() < 0.02, "got {ratio}");
+        // NATted types evenly split.
+        for (_, count) in by_type {
+            let frac = count as f64 / n as f64;
+            assert!((frac - 0.175).abs() < 0.02, "got {frac}");
+        }
+    }
+
+    #[test]
+    fn table_insert_remove() {
+        let mut t = NatTable::new();
+        t.insert(NodeId(1), NatType::Symmetric);
+        assert_eq!(t.nat_type(NodeId(1)), Some(NatType::Symmetric));
+        t.remove(NodeId(1));
+        assert_eq!(t.nat_type(NodeId(1)), None);
+    }
+}

@@ -1,0 +1,621 @@
+//! The discrete-event engine.
+//!
+//! A [`Sim`] owns a population of protocol instances (one per simulated
+//! host), the global event queue, the NAT table, the latency/loss profile
+//! and a seeded RNG. Everything is single-threaded and deterministic:
+//! events are ordered by `(time, sequence-number)`, so two runs with the
+//! same seed replay identically.
+//!
+//! Protocols implement [`Protocol`] and interact with the world only
+//! through [`Ctx`], which *records* effects (sends, timers); the engine
+//! applies them once the callback returns. This keeps the borrow structure
+//! simple and the event order well-defined.
+
+use crate::id::{Endpoint, NodeId};
+use crate::latency::NetProfile;
+use crate::metrics::Metrics;
+use crate::nat::{NatTable, NatType};
+use crate::time::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, BTreeMap};
+
+/// A protocol stack running on one simulated host.
+///
+/// All callbacks receive a [`Ctx`] for interacting with the network.
+pub trait Protocol {
+    /// Invoked once when the node is added to the simulation.
+    fn on_start(&mut self, ctx: &mut Ctx<'_>);
+
+    /// Invoked for every delivered message. `from` identifies the sending
+    /// host and `from_ep` its externally observed endpoint (which is what
+    /// a real socket would report, and what NAT traversal must use).
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, from_ep: Endpoint, data: &[u8]);
+
+    /// Invoked when a timer armed with [`Ctx::set_timer`] fires.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64);
+
+    /// Downcasting support so experiment harnesses can inspect node state.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable downcasting support.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// Effects recorded by a protocol callback, applied by the engine
+/// afterwards.
+enum Effect {
+    Send { to: Endpoint, data: Vec<u8> },
+    Timer { delay: SimDuration, token: u64 },
+}
+
+/// The execution context handed to protocol callbacks.
+pub struct Ctx<'a> {
+    now: SimTime,
+    id: NodeId,
+    nat_type: NatType,
+    rng: &'a mut StdRng,
+    metrics: &'a mut Metrics,
+    effects: Vec<Effect>,
+}
+
+impl<'a> Ctx<'a> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This node's identifier.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// This node's NAT type (a real node knows whether it is publicly
+    /// reachable, e.g. via STUN-style probing; we expose it directly).
+    pub fn nat_type(&self) -> NatType {
+        self.nat_type
+    }
+
+    /// Queues a message to `to`. Delivery is subject to latency, loss and
+    /// the destination's NAT filtering; there is no failure notification,
+    /// exactly like UDP.
+    pub fn send_to(&mut self, to: Endpoint, data: Vec<u8>) {
+        self.effects.push(Effect::Send { to, data });
+    }
+
+    /// Arms a one-shot timer that fires `delay` from now with `token`.
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
+        self.effects.push(Effect::Timer { delay, token });
+    }
+
+    /// Deterministic randomness source.
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    /// The shared metric sink.
+    pub fn metrics(&mut self) -> &mut Metrics {
+        self.metrics
+    }
+}
+
+enum EventKind {
+    Deliver {
+        to: Endpoint,
+        from: NodeId,
+        from_ep: Endpoint,
+        data: Vec<u8>,
+    },
+    Timer {
+        node: NodeId,
+        token: u64,
+    },
+    Start {
+        node: NodeId,
+    },
+}
+
+struct Event {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Engine configuration.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Seed for the engine RNG (drives latency, loss and protocol
+    /// randomness).
+    pub seed: u64,
+    /// Latency/loss environment.
+    pub profile: NetProfile,
+    /// NAT association-rule lease time. The paper quotes Cisco's
+    /// defaults: 5 minutes for UDP, 24 hours for TCP — and WHISPER's
+    /// connection reuse relies on the long TCP-style leases (§II-C). The
+    /// simulator defaults to 2 hours.
+    pub nat_lease: SimDuration,
+}
+
+impl SimConfig {
+    /// Cluster profile with the given seed.
+    pub fn cluster(seed: u64) -> Self {
+        SimConfig {
+            seed,
+            profile: NetProfile::cluster(),
+            nat_lease: SimDuration::from_secs(7200),
+        }
+    }
+
+    /// PlanetLab profile with the given seed.
+    pub fn planetlab(seed: u64) -> Self {
+        SimConfig {
+            seed,
+            profile: NetProfile::planetlab(),
+            nat_lease: SimDuration::from_secs(7200),
+        }
+    }
+
+    /// Instant, lossless network for logic-focused tests.
+    pub fn ideal(seed: u64) -> Self {
+        SimConfig {
+            seed,
+            profile: NetProfile::ideal(),
+            nat_lease: SimDuration::from_secs(7200),
+        }
+    }
+}
+
+/// The discrete-event simulator.
+pub struct Sim {
+    cfg: SimConfig,
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Reverse<Event>>,
+    nodes: BTreeMap<NodeId, Box<dyn Protocol>>,
+    nat: NatTable,
+    rng: StdRng,
+    metrics: Metrics,
+    next_node_id: u64,
+}
+
+impl Sim {
+    /// Creates an empty simulation.
+    pub fn new(cfg: SimConfig) -> Self {
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        Sim {
+            cfg,
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            nodes: BTreeMap::new(),
+            nat: NatTable::new(),
+            rng,
+            metrics: Metrics::new(),
+            next_node_id: 0,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of live nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the simulation has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Live node identifiers in ascending order (deterministic).
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        self.nodes.keys().copied().collect()
+    }
+
+    /// Whether `id` is currently live.
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.nodes.contains_key(&id)
+    }
+
+    /// The NAT type of a live node.
+    pub fn nat_type(&self, id: NodeId) -> Option<NatType> {
+        self.nat.nat_type(id)
+    }
+
+    /// The metric sink.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Mutable access to the metric sink (e.g. to reset between phases).
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
+    }
+
+    /// The engine RNG (for harness-level random choices that must stay
+    /// deterministic).
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Adds a node behind a NAT device of type `nat_type` and schedules
+    /// its `on_start` at the current time. Returns its fresh identifier.
+    pub fn add_node(&mut self, protocol: Box<dyn Protocol>, nat_type: NatType) -> NodeId {
+        let id = NodeId(self.next_node_id);
+        self.next_node_id += 1;
+        self.nodes.insert(id, protocol);
+        self.nat.insert(id, nat_type);
+        self.push(SimDuration::ZERO, EventKind::Start { node: id });
+        id
+    }
+
+    /// Removes a node abruptly (crash semantics: no notification, pending
+    /// messages to it are dropped, its NAT state disappears).
+    pub fn remove_node(&mut self, id: NodeId) {
+        self.nodes.remove(&id);
+        self.nat.remove(id);
+    }
+
+    /// Immutable access to a node's protocol state, downcast to `T`.
+    pub fn node<T: 'static>(&self, id: NodeId) -> Option<&T> {
+        self.nodes.get(&id)?.as_any().downcast_ref::<T>()
+    }
+
+    /// Mutable access to a node's protocol state, downcast to `T`.
+    pub fn node_mut<T: 'static>(&mut self, id: NodeId) -> Option<&mut T> {
+        self.nodes.get_mut(&id)?.as_any_mut().downcast_mut::<T>()
+    }
+
+    /// Invokes `f` on the node as if from a protocol callback — used by
+    /// harnesses to inject application commands (e.g. "issue a DHT
+    /// lookup"). Effects are applied as usual.
+    pub fn with_node_ctx<T: 'static>(
+        &mut self,
+        id: NodeId,
+        f: impl FnOnce(&mut T, &mut Ctx<'_>),
+    ) -> bool {
+        let Some(nat_type) = self.nat.nat_type(id) else {
+            return false;
+        };
+        let Some(mut proto) = self.nodes.remove(&id) else {
+            return false;
+        };
+        let mut ctx = Ctx {
+            now: self.now,
+            id,
+            nat_type,
+            rng: &mut self.rng,
+            metrics: &mut self.metrics,
+            effects: Vec::new(),
+        };
+        let applied = if let Some(t) = proto.as_any_mut().downcast_mut::<T>() {
+            f(t, &mut ctx);
+            true
+        } else {
+            false
+        };
+        let effects = std::mem::take(&mut ctx.effects);
+        self.nodes.insert(id, proto);
+        self.apply_effects(id, effects);
+        applied
+    }
+
+    /// Runs events until the queue is exhausted or `deadline` is reached;
+    /// time ends exactly at `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(Reverse(ev)) = self.queue.peek() {
+            if ev.at > deadline {
+                break;
+            }
+            let Reverse(ev) = self.queue.pop().expect("peeked");
+            self.now = ev.at;
+            self.dispatch(ev.kind);
+        }
+        self.now = deadline;
+    }
+
+    /// Runs for `d` of simulated time.
+    pub fn run_for(&mut self, d: SimDuration) {
+        self.run_until(self.now + d);
+    }
+
+    /// Runs for `secs` seconds of simulated time.
+    pub fn run_for_secs(&mut self, secs: u64) {
+        self.run_for(SimDuration::from_secs(secs));
+    }
+
+    fn push(&mut self, delay: SimDuration, kind: EventKind) {
+        let ev = Event { at: self.now + delay, seq: self.seq, kind };
+        self.seq += 1;
+        self.queue.push(Reverse(ev));
+    }
+
+    fn dispatch(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::Start { node } => {
+                self.invoke(node, |proto, ctx| proto.on_start(ctx));
+            }
+            EventKind::Timer { node, token } => {
+                self.invoke(node, |proto, ctx| proto.on_timer(ctx, token));
+            }
+            EventKind::Deliver { to, from, from_ep, data } => {
+                if !self.nodes.contains_key(&to.node) {
+                    self.metrics.count("net.drop_dead_target", 1);
+                    return;
+                }
+                let accepted = match self.nat.device_mut(to.node) {
+                    Some(dev) => dev.inbound(to.port, from_ep, self.now),
+                    None => false,
+                };
+                if !accepted {
+                    self.metrics.count("net.nat_blocked", 1);
+                    return;
+                }
+                self.metrics.record_down(to.node, data.len());
+                self.invoke(to.node, |proto, ctx| {
+                    proto.on_message(ctx, from, from_ep, &data)
+                });
+            }
+        }
+    }
+
+    /// Runs one callback on a node (if alive) and applies its effects.
+    fn invoke(&mut self, id: NodeId, f: impl FnOnce(&mut dyn Protocol, &mut Ctx<'_>)) {
+        let Some(nat_type) = self.nat.nat_type(id) else {
+            return;
+        };
+        // Temporarily detach the node so `Ctx` can borrow the rest of the
+        // simulator without aliasing.
+        let Some(mut proto) = self.nodes.remove(&id) else {
+            return;
+        };
+        let mut ctx = Ctx {
+            now: self.now,
+            id,
+            nat_type,
+            rng: &mut self.rng,
+            metrics: &mut self.metrics,
+            effects: Vec::new(),
+        };
+        f(proto.as_mut(), &mut ctx);
+        let effects = std::mem::take(&mut ctx.effects);
+        self.nodes.insert(id, proto);
+        self.apply_effects(id, effects);
+    }
+
+    fn apply_effects(&mut self, from: NodeId, effects: Vec<Effect>) {
+        for effect in effects {
+            match effect {
+                Effect::Timer { delay, token } => {
+                    self.push(delay, EventKind::Timer { node: from, token });
+                }
+                Effect::Send { to, data } => {
+                    self.metrics.record_up(from, data.len());
+                    // Loopback: skip NAT and loss, deliver with link delay.
+                    if to.node == from {
+                        let delay = self.cfg.profile.link.sample(&mut self.rng);
+                        let from_ep = Endpoint { node: from, port: 0 };
+                        self.push(delay, EventKind::Deliver { to, from, from_ep, data });
+                        continue;
+                    }
+                    let Some(dev) = self.nat.device_mut(from) else {
+                        continue; // sender vanished (cannot normally happen)
+                    };
+                    let src_port = dev.outbound(to, self.now, self.cfg.nat_lease);
+                    let from_ep = Endpoint { node: from, port: src_port };
+                    if self.cfg.profile.sample_loss(&mut self.rng) {
+                        self.metrics.count("net.lost", 1);
+                        continue;
+                    }
+                    let delay = self.cfg.profile.sample_delay(&mut self.rng);
+                    self.push(delay, EventKind::Deliver { to, from, from_ep, data });
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Sim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sim")
+            .field("now", &self.now)
+            .field("nodes", &self.nodes.len())
+            .field("pending_events", &self.queue.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nat::NatType;
+
+    /// Test protocol: pings a target on start, echoes everything back,
+    /// counts deliveries, re-arms a periodic timer.
+    struct Pinger {
+        target: Option<Endpoint>,
+        received: Vec<(NodeId, Vec<u8>)>,
+        timer_fires: u32,
+        periodic: bool,
+    }
+
+    impl Pinger {
+        fn new() -> Self {
+            Pinger { target: None, received: Vec::new(), timer_fires: 0, periodic: false }
+        }
+    }
+
+    impl Protocol for Pinger {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            if let Some(t) = self.target {
+                ctx.send_to(t, b"ping".to_vec());
+            }
+            if self.periodic {
+                ctx.set_timer(SimDuration::from_secs(1), 1);
+            }
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, from_ep: Endpoint, data: &[u8]) {
+            self.received.push((from, data.to_vec()));
+            if data == b"ping" {
+                ctx.send_to(from_ep, b"pong".to_vec());
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+            self.timer_fires += 1;
+            if self.periodic && self.timer_fires < 5 {
+                ctx.set_timer(SimDuration::from_secs(1), token);
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn ping_pong_between_public_nodes() {
+        let mut sim = Sim::new(SimConfig::ideal(1));
+        let b = sim.add_node(Box::new(Pinger::new()), NatType::Public);
+        let mut a_proto = Pinger::new();
+        a_proto.target = Some(Endpoint::public(b));
+        let a = sim.add_node(Box::new(a_proto), NatType::Public);
+        sim.run_for_secs(1);
+        let a_state: &Pinger = sim.node(a).unwrap();
+        assert_eq!(a_state.received.len(), 1);
+        assert_eq!(a_state.received[0].1, b"pong");
+        let b_state: &Pinger = sim.node(b).unwrap();
+        assert_eq!(b_state.received[0].0, a);
+    }
+
+    #[test]
+    fn reply_to_natted_sender_via_observed_endpoint() {
+        // A is behind a port-restricted NAT; B replies to A's observed
+        // endpoint and the reply passes the filter.
+        let mut sim = Sim::new(SimConfig::ideal(2));
+        let b = sim.add_node(Box::new(Pinger::new()), NatType::Public);
+        let mut a_proto = Pinger::new();
+        a_proto.target = Some(Endpoint::public(b));
+        let a = sim.add_node(Box::new(a_proto), NatType::PortRestrictedCone);
+        sim.run_for_secs(1);
+        let a_state: &Pinger = sim.node(a).unwrap();
+        assert_eq!(a_state.received.len(), 1, "pong must traverse A's NAT");
+    }
+
+    #[test]
+    fn unsolicited_message_to_natted_node_blocked() {
+        let mut sim = Sim::new(SimConfig::ideal(3));
+        let victim = sim.add_node(Box::new(Pinger::new()), NatType::RestrictedCone);
+        let mut a_proto = Pinger::new();
+        // Guess an endpoint; nothing was opened, so it must be dropped.
+        a_proto.target = Some(Endpoint { node: victim, port: 1 });
+        sim.add_node(Box::new(a_proto), NatType::Public);
+        sim.run_for_secs(1);
+        let v: &Pinger = sim.node(victim).unwrap();
+        assert!(v.received.is_empty());
+        assert_eq!(sim.metrics().counter("net.nat_blocked"), 1);
+    }
+
+    #[test]
+    fn timers_fire_and_rearm() {
+        let mut sim = Sim::new(SimConfig::ideal(4));
+        let mut p = Pinger::new();
+        p.periodic = true;
+        let id = sim.add_node(Box::new(p), NatType::Public);
+        sim.run_for_secs(10);
+        let state: &Pinger = sim.node(id).unwrap();
+        assert_eq!(state.timer_fires, 5);
+    }
+
+    #[test]
+    fn dead_node_receives_nothing() {
+        let mut sim = Sim::new(SimConfig::ideal(5));
+        let b = sim.add_node(Box::new(Pinger::new()), NatType::Public);
+        let mut a_proto = Pinger::new();
+        a_proto.target = Some(Endpoint::public(b));
+        sim.add_node(Box::new(a_proto), NatType::Public);
+        sim.remove_node(b);
+        sim.run_for_secs(1);
+        assert_eq!(sim.metrics().counter("net.drop_dead_target"), 1);
+        assert!(!sim.contains(b));
+    }
+
+    #[test]
+    fn bandwidth_is_accounted() {
+        let mut sim = Sim::new(SimConfig::ideal(6));
+        let b = sim.add_node(Box::new(Pinger::new()), NatType::Public);
+        let mut a_proto = Pinger::new();
+        a_proto.target = Some(Endpoint::public(b));
+        let a = sim.add_node(Box::new(a_proto), NatType::Public);
+        sim.run_for_secs(1);
+        let ta = sim.metrics().traffic(a);
+        let tb = sim.metrics().traffic(b);
+        assert_eq!(ta.up_msgs, 1);
+        assert_eq!(ta.down_msgs, 1);
+        assert_eq!(tb.up_msgs, 1);
+        assert!(ta.up_bytes > 4, "headers counted");
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        fn run(seed: u64) -> (u64, u64) {
+            let mut sim = Sim::new(SimConfig::cluster(seed));
+            let b = sim.add_node(Box::new(Pinger::new()), NatType::Public);
+            for _ in 0..20 {
+                let mut p = Pinger::new();
+                p.target = Some(Endpoint::public(b));
+                p.periodic = true;
+                sim.add_node(Box::new(p), NatType::RestrictedCone);
+            }
+            sim.run_for_secs(30);
+            let t = sim.metrics().traffic(b);
+            (t.down_bytes, t.up_bytes)
+        }
+        assert_eq!(run(7), run(7));
+        assert_eq!(run(8), run(8));
+    }
+
+    #[test]
+    fn with_node_ctx_injects_commands() {
+        let mut sim = Sim::new(SimConfig::ideal(8));
+        let b = sim.add_node(Box::new(Pinger::new()), NatType::Public);
+        let a = sim.add_node(Box::new(Pinger::new()), NatType::Public);
+        let ok = sim.with_node_ctx::<Pinger>(a, |_p, ctx| {
+            ctx.send_to(Endpoint::public(b), b"ping".to_vec());
+        });
+        assert!(ok);
+        sim.run_for_secs(1);
+        let b_state: &Pinger = sim.node(b).unwrap();
+        assert_eq!(b_state.received.len(), 1);
+    }
+
+    #[test]
+    fn run_until_lands_exactly_on_deadline() {
+        let mut sim = Sim::new(SimConfig::ideal(9));
+        sim.run_until(SimTime::from_micros(123_456));
+        assert_eq!(sim.now().as_micros(), 123_456);
+    }
+}

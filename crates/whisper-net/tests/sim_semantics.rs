@@ -1,0 +1,136 @@
+//! Engine-semantics tests: ordering, loss accounting, churn-runner
+//! integration with the latency profiles, and determinism across
+//! heterogeneous configurations.
+
+use whisper_net::nat::NatType;
+use whisper_net::sim::{Ctx, Protocol, Sim, SimConfig};
+use whisper_net::{Endpoint, NodeId, SimDuration, SimTime};
+
+/// Records every delivery with its arrival time.
+struct Recorder {
+    received: Vec<(SimTime, NodeId, Vec<u8>)>,
+}
+
+impl Protocol for Recorder {
+    fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, _ep: Endpoint, data: &[u8]) {
+        self.received.push((ctx.now(), from, data.to_vec()));
+    }
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: u64) {}
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Sends a burst of numbered messages at start.
+struct Burst {
+    target: NodeId,
+    count: u32,
+}
+
+impl Protocol for Burst {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        for i in 0..self.count {
+            ctx.send_to(Endpoint::public(self.target), i.to_be_bytes().to_vec());
+        }
+    }
+    fn on_message(&mut self, _: &mut Ctx<'_>, _: NodeId, _: Endpoint, _: &[u8]) {}
+    fn on_timer(&mut self, _: &mut Ctx<'_>, _: u64) {}
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[test]
+fn deliveries_are_time_ordered() {
+    let mut sim = Sim::new(SimConfig::planetlab(1));
+    let sink = sim.add_node(Box::new(Recorder { received: Vec::new() }), NatType::Public);
+    sim.add_node(Box::new(Burst { target: sink, count: 200 }), NatType::Public);
+    sim.run_for_secs(30);
+    let rec: &Recorder = sim.node(sink).unwrap();
+    assert!(!rec.received.is_empty());
+    // Arrival times are monotone in processing order even though the
+    // heavy-tailed latency model reorders messages relative to sending.
+    for w in rec.received.windows(2) {
+        assert!(w[0].0 <= w[1].0, "event times went backwards");
+    }
+    // The heavy tail actually reordered something (messages were sent in
+    // sequence; payloads arriving out of numeric order prove reordering).
+    let payloads: Vec<u32> = rec
+        .received
+        .iter()
+        .map(|(_, _, d)| u32::from_be_bytes(d.as_slice().try_into().unwrap()))
+        .collect();
+    assert!(
+        payloads.windows(2).any(|w| w[0] > w[1]),
+        "PlanetLab latencies should reorder a 200-message burst"
+    );
+}
+
+#[test]
+fn loss_rate_matches_profile() {
+    let mut sim = Sim::new(SimConfig::planetlab(2)); // 2% loss
+    let sink = sim.add_node(Box::new(Recorder { received: Vec::new() }), NatType::Public);
+    sim.add_node(Box::new(Burst { target: sink, count: 5000 }), NatType::Public);
+    sim.run_for_secs(60);
+    let rec: &Recorder = sim.node(sink).unwrap();
+    let delivered = rec.received.len();
+    let lost = sim.metrics().counter("net.lost");
+    assert_eq!(delivered as u64 + lost, 5000);
+    let rate = lost as f64 / 5000.0;
+    assert!((rate - 0.02).abs() < 0.01, "loss rate {rate}");
+}
+
+#[test]
+fn cluster_profile_is_lossless() {
+    let mut sim = Sim::new(SimConfig::cluster(3));
+    let sink = sim.add_node(Box::new(Recorder { received: Vec::new() }), NatType::Public);
+    sim.add_node(Box::new(Burst { target: sink, count: 2000 }), NatType::Public);
+    sim.run_for_secs(60);
+    let rec: &Recorder = sim.node(sink).unwrap();
+    assert_eq!(rec.received.len(), 2000);
+    assert_eq!(sim.metrics().counter("net.lost"), 0);
+}
+
+#[test]
+fn removing_receiver_mid_flight_drops_cleanly() {
+    let mut sim = Sim::new(SimConfig::planetlab(4));
+    let sink = sim.add_node(Box::new(Recorder { received: Vec::new() }), NatType::Public);
+    sim.add_node(Box::new(Burst { target: sink, count: 100 }), NatType::Public);
+    // Kill the sink while messages are still in flight.
+    sim.run_for(SimDuration::from_millis(10));
+    sim.remove_node(sink);
+    sim.run_for_secs(30);
+    // Nothing panicked; undeliverable messages were counted.
+    assert!(sim.metrics().counter("net.drop_dead_target") > 0);
+}
+
+#[test]
+fn node_ids_are_never_reused() {
+    let mut sim = Sim::new(SimConfig::ideal(5));
+    let a = sim.add_node(Box::new(Recorder { received: Vec::new() }), NatType::Public);
+    sim.remove_node(a);
+    let b = sim.add_node(Box::new(Recorder { received: Vec::new() }), NatType::Public);
+    assert_ne!(a, b, "ids are unique across the whole run");
+    assert!(b > a);
+}
+
+#[test]
+fn identical_seeds_replay_identical_arrival_times() {
+    fn arrivals(seed: u64) -> Vec<u64> {
+        let mut sim = Sim::new(SimConfig::planetlab(seed));
+        let sink = sim.add_node(Box::new(Recorder { received: Vec::new() }), NatType::Public);
+        sim.add_node(Box::new(Burst { target: sink, count: 50 }), NatType::Public);
+        sim.run_for_secs(30);
+        let rec: &Recorder = sim.node(sink).unwrap();
+        rec.received.iter().map(|(t, _, _)| t.as_micros()).collect()
+    }
+    assert_eq!(arrivals(42), arrivals(42));
+    assert_ne!(arrivals(42), arrivals(43), "different seeds differ");
+}

@@ -1,0 +1,116 @@
+//! Nylon / biased-PSS configuration.
+
+use whisper_crypto::rsa::RsaKeySize;
+use whisper_net::SimDuration;
+
+/// Parameters of the Nylon PSS and its WHISPER extensions.
+///
+/// The defaults match the paper's evaluation settings: view size `c = 10`,
+/// a 10-second PSS cycle, Π = 3 and sim-grade RSA keys.
+#[derive(Clone, Debug)]
+pub struct NylonConfig {
+    /// View size `c`.
+    pub view_size: usize,
+    /// Entries shipped per gossip exchange (including the sender's own
+    /// fresh entry). The classic choice is `c / 2`.
+    pub gossip_len: usize,
+    /// PSS cycle period (paper: 10 s).
+    pub cycle: SimDuration,
+    /// Minimum number of P-nodes to keep in the view (Π). 0 disables the
+    /// bias entirely (the unmodified PSS used as Fig. 5's baseline).
+    pub pi: usize,
+    /// Whether to discard the *oldest* P-nodes above the Π threshold
+    /// first, limiting P-node in-degree inflation (paper §III-B-1; an
+    /// ablation flag here).
+    pub oldest_p_discard: bool,
+    /// Whether gossip messages piggyback the sender's public key (the
+    /// public key sampling service; Fig. 6 measures its cost).
+    pub key_sampling: bool,
+    /// Maximum length of the rendezvous chain stored per view entry.
+    pub max_route: usize,
+    /// Connection backlog capacity as a multiple of `view_size` (paper:
+    /// 2 × c).
+    pub cb_factor: usize,
+    /// How long to wait for hole punching before falling back to relayed
+    /// delivery.
+    pub open_timeout: SimDuration,
+    /// RSA modulus size used for this node's key pair.
+    pub rsa: RsaKeySize,
+}
+
+impl Default for NylonConfig {
+    fn default() -> Self {
+        NylonConfig {
+            view_size: 10,
+            gossip_len: 5,
+            cycle: SimDuration::from_secs(10),
+            pi: 3,
+            oldest_p_discard: true,
+            key_sampling: true,
+            max_route: 3,
+            cb_factor: 2,
+            open_timeout: SimDuration::from_millis(800),
+            rsa: RsaKeySize::Sim384,
+        }
+    }
+}
+
+impl NylonConfig {
+    /// The paper's configuration with a specific Π.
+    pub fn with_pi(pi: usize) -> Self {
+        NylonConfig { pi, ..NylonConfig::default() }
+    }
+
+    /// Capacity of the connection backlog (2 × c with defaults).
+    pub fn cb_capacity(&self) -> usize {
+        self.cb_factor * self.view_size
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on nonsensical combinations (e.g. Π larger than the view).
+    pub fn validate(&self) {
+        assert!(self.view_size >= 2, "view size must be at least 2");
+        assert!(
+            self.gossip_len >= 1 && self.gossip_len <= self.view_size,
+            "gossip length must be within [1, view_size]"
+        );
+        assert!(self.pi <= self.view_size, "Π cannot exceed the view size");
+        assert!(self.cb_factor >= 1, "CB must hold at least one view worth");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = NylonConfig::default();
+        c.validate();
+        assert_eq!(c.view_size, 10);
+        assert_eq!(c.cycle.as_secs(), 10);
+        assert_eq!(c.cb_capacity(), 20);
+    }
+
+    #[test]
+    fn with_pi() {
+        let c = NylonConfig::with_pi(0);
+        c.validate();
+        assert_eq!(c.pi, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "Π cannot exceed")]
+    fn oversized_pi_rejected() {
+        NylonConfig { pi: 11, ..NylonConfig::default() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "gossip length")]
+    fn oversized_gossip_len_rejected() {
+        NylonConfig { gossip_len: 11, ..NylonConfig::default() }.validate();
+    }
+}

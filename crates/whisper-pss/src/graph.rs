@@ -1,0 +1,174 @@
+//! Overlay graph instrumentation for Fig. 5: in-degree distributions and
+//! local clustering coefficients of the PSS graph.
+
+use std::collections::{HashMap, HashSet};
+use whisper_net::NodeId;
+
+/// A snapshot of the overlay: each node with its out-neighbours (its
+/// view).
+#[derive(Clone, Debug, Default)]
+pub struct OverlaySnapshot {
+    edges: Vec<(NodeId, Vec<NodeId>)>,
+}
+
+impl OverlaySnapshot {
+    /// Builds a snapshot from `(node, view nodes)` pairs.
+    pub fn new(edges: Vec<(NodeId, Vec<NodeId>)>) -> Self {
+        OverlaySnapshot { edges }
+    }
+
+    /// Number of nodes in the snapshot.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the snapshot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// In-degree of every node present in the snapshot (nodes nobody
+    /// points to report 0).
+    pub fn in_degrees(&self) -> HashMap<NodeId, usize> {
+        let mut degrees: HashMap<NodeId, usize> =
+            self.edges.iter().map(|(n, _)| (*n, 0)).collect();
+        for (_, view) in &self.edges {
+            for target in view {
+                *degrees.entry(*target).or_insert(0) += 1;
+            }
+        }
+        degrees
+    }
+
+    /// Local clustering coefficient per node, on the undirected version
+    /// of the overlay (an edge exists if either endpoint lists the other).
+    ///
+    /// For a node with fewer than 2 neighbours the coefficient is 0.
+    pub fn clustering_coefficients(&self) -> HashMap<NodeId, f64> {
+        // Undirected adjacency.
+        let mut adj: HashMap<NodeId, HashSet<NodeId>> = HashMap::new();
+        for (node, view) in &self.edges {
+            for target in view {
+                if node != target {
+                    adj.entry(*node).or_default().insert(*target);
+                    adj.entry(*target).or_default().insert(*node);
+                }
+            }
+        }
+        let mut out = HashMap::new();
+        for (node, _) in &self.edges {
+            let Some(neighbours) = adj.get(node) else {
+                out.insert(*node, 0.0);
+                continue;
+            };
+            let k = neighbours.len();
+            if k < 2 {
+                out.insert(*node, 0.0);
+                continue;
+            }
+            let neighbours: Vec<NodeId> = neighbours.iter().copied().collect();
+            let mut links = 0usize;
+            for i in 0..neighbours.len() {
+                for j in (i + 1)..neighbours.len() {
+                    if adj
+                        .get(&neighbours[i])
+                        .is_some_and(|s| s.contains(&neighbours[j]))
+                    {
+                        links += 1;
+                    }
+                }
+            }
+            out.insert(*node, 2.0 * links as f64 / (k * (k - 1)) as f64);
+        }
+        out
+    }
+
+    /// Mean local clustering coefficient.
+    pub fn mean_clustering(&self) -> f64 {
+        let cc = self.clustering_coefficients();
+        if cc.is_empty() {
+            return 0.0;
+        }
+        cc.values().sum::<f64>() / cc.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u64) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn in_degrees_counted() {
+        let snap = OverlaySnapshot::new(vec![
+            (n(1), vec![n(2), n(3)]),
+            (n(2), vec![n(3)]),
+            (n(3), vec![]),
+        ]);
+        let d = snap.in_degrees();
+        assert_eq!(d[&n(1)], 0);
+        assert_eq!(d[&n(2)], 1);
+        assert_eq!(d[&n(3)], 2);
+    }
+
+    #[test]
+    fn triangle_has_full_clustering() {
+        let snap = OverlaySnapshot::new(vec![
+            (n(1), vec![n(2), n(3)]),
+            (n(2), vec![n(3)]),
+            (n(3), vec![n(1)]),
+        ]);
+        let cc = snap.clustering_coefficients();
+        for i in 1..=3 {
+            assert_eq!(cc[&n(i)], 1.0, "node {i}");
+        }
+        assert_eq!(snap.mean_clustering(), 1.0);
+    }
+
+    #[test]
+    fn star_has_zero_clustering_at_center() {
+        let snap = OverlaySnapshot::new(vec![
+            (n(0), vec![n(1), n(2), n(3)]),
+            (n(1), vec![]),
+            (n(2), vec![]),
+            (n(3), vec![]),
+        ]);
+        let cc = snap.clustering_coefficients();
+        assert_eq!(cc[&n(0)], 0.0);
+        assert_eq!(cc[&n(1)], 0.0, "leaf has one neighbour");
+    }
+
+    #[test]
+    fn line_graph_partial_clustering() {
+        // 1-2-3 plus edge 1-3 makes a triangle for 2; adding 4 hanging
+        // off 3 dilutes 3's coefficient.
+        let snap = OverlaySnapshot::new(vec![
+            (n(1), vec![n(2), n(3)]),
+            (n(2), vec![n(3)]),
+            (n(3), vec![n(4)]),
+            (n(4), vec![]),
+        ]);
+        let cc = snap.clustering_coefficients();
+        assert_eq!(cc[&n(2)], 1.0);
+        // 3's neighbours: 1, 2, 4 → one link (1-2) out of 3 possible.
+        assert!((cc[&n(3)] - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn self_loops_ignored() {
+        let snap = OverlaySnapshot::new(vec![(n(1), vec![n(1), n(2)]), (n(2), vec![])]);
+        let cc = snap.clustering_coefficients();
+        assert_eq!(cc[&n(1)], 0.0);
+    }
+
+    #[test]
+    fn empty_snapshot() {
+        let snap = OverlaySnapshot::new(vec![]);
+        assert!(snap.is_empty());
+        assert_eq!(snap.mean_clustering(), 0.0);
+        assert!(snap.in_degrees().is_empty());
+    }
+}

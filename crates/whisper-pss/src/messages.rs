@@ -1,0 +1,310 @@
+//! Wire messages of the Nylon PSS layer.
+//!
+//! Everything a node puts on the wire is one of these messages, serialized
+//! with the `whisper-net` codec. Upper layers (WCL/PPSS) travel inside
+//! [`NylonMsg::App`] payloads.
+
+use crate::view::ViewEntry;
+use whisper_net::wire::{WireDecode, WireEncode, WireError, WireReader, WireWriter};
+use whisper_net::{Endpoint, NodeId};
+
+/// A Nylon-layer message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum NylonMsg {
+    /// Gossip exchange request: the initiator's buffer (its own fresh
+    /// entry first), optionally piggybacking its public key (the key
+    /// sampling service).
+    GossipReq {
+        /// Initiator.
+        sender: NodeId,
+        /// Whether the initiator is a P-node.
+        sender_public: bool,
+        /// Shipped view subset.
+        entries: Vec<ViewEntry>,
+        /// Serialized public key, if key sampling is on.
+        key: Option<Vec<u8>>,
+    },
+    /// Gossip exchange response (same shape as the request).
+    GossipResp {
+        /// Responder.
+        sender: NodeId,
+        /// Whether the responder is a P-node.
+        sender_public: bool,
+        /// Shipped view subset.
+        entries: Vec<ViewEntry>,
+        /// Serialized public key, if key sampling is on.
+        key: Option<Vec<u8>>,
+    },
+    /// A message relayed along a rendezvous chain. `remaining` lists the
+    /// hops still to traverse; its last element is the final destination.
+    /// `path_back` accumulates the hops traversed so far (origin first),
+    /// giving the destination a working reverse route.
+    Relayed {
+        /// Originator.
+        from: NodeId,
+        /// Hops left; last element is the destination.
+        remaining: Vec<NodeId>,
+        /// Hops already traversed, origin first.
+        path_back: Vec<NodeId>,
+        /// Serialized inner [`NylonMsg`].
+        inner: Vec<u8>,
+    },
+    /// Hole-punching request travelling along a rendezvous chain towards
+    /// the target (the last element of `remaining`). The first relay fills
+    /// `requester_ep` with the endpoint it observed.
+    OpenReq {
+        /// The node that wants to open a direct channel.
+        requester: NodeId,
+        /// Requester's externally observed endpoint (filled by the first
+        /// relay).
+        requester_ep: Option<Endpoint>,
+        /// Hops left; last element is the target.
+        remaining: Vec<NodeId>,
+        /// Hops traversed, origin first.
+        path_back: Vec<NodeId>,
+    },
+    /// Answer to [`NylonMsg::OpenReq`], travelling the reverse path. The
+    /// first relay to forward it fills `target_ep`.
+    OpenAck {
+        /// The target that accepted the open request.
+        target: NodeId,
+        /// Target's externally observed endpoint (filled by the first
+        /// relay on the way back).
+        target_ep: Option<Endpoint>,
+        /// Hops left on the reverse path; last element is the requester.
+        remaining: Vec<NodeId>,
+    },
+    /// Hole-punching probe sent directly to a (guessed) endpoint.
+    Punch {
+        /// Sender.
+        from: NodeId,
+    },
+    /// Acknowledgement of a [`NylonMsg::Punch`]; tells the puncher its
+    /// probe traversed the NAT.
+    PunchAck {
+        /// Sender.
+        from: NodeId,
+    },
+    /// The "empty message" of paper §III-A used when inserting a P-node
+    /// into the connection backlog: opens the sender's NAT towards the
+    /// P-node so that the P-node can later reach it.
+    Ping {
+        /// Sender.
+        from: NodeId,
+        /// Sender's serialized public key (the pinged P-node may need to
+        /// seal onion layers back to us).
+        key: Option<Vec<u8>>,
+    },
+    /// Reply to [`NylonMsg::Ping`], carrying the P-node's public key so
+    /// the pinger can use it as an onion next-to-last hop.
+    Pong {
+        /// Sender (the P-node).
+        from: NodeId,
+        /// The P-node's serialized public key.
+        key: Option<Vec<u8>>,
+    },
+    /// Opaque upper-layer payload (WCL packets, PPSS exchanges, ...).
+    App {
+        /// Originator.
+        from: NodeId,
+        /// Upper-layer bytes.
+        payload: Vec<u8>,
+    },
+}
+
+const TAG_GOSSIP_REQ: u8 = 1;
+const TAG_GOSSIP_RESP: u8 = 2;
+const TAG_RELAYED: u8 = 3;
+const TAG_OPEN_REQ: u8 = 4;
+const TAG_OPEN_ACK: u8 = 5;
+const TAG_PUNCH: u8 = 6;
+const TAG_PUNCH_ACK: u8 = 7;
+const TAG_PING: u8 = 8;
+const TAG_PONG: u8 = 9;
+const TAG_APP: u8 = 10;
+
+impl WireEncode for NylonMsg {
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            NylonMsg::GossipReq { sender, sender_public, entries, key } => {
+                w.put_u8(TAG_GOSSIP_REQ);
+                w.put(sender);
+                w.put(sender_public);
+                w.put_seq(entries);
+                w.put_opt(key);
+            }
+            NylonMsg::GossipResp { sender, sender_public, entries, key } => {
+                w.put_u8(TAG_GOSSIP_RESP);
+                w.put(sender);
+                w.put(sender_public);
+                w.put_seq(entries);
+                w.put_opt(key);
+            }
+            NylonMsg::Relayed { from, remaining, path_back, inner } => {
+                w.put_u8(TAG_RELAYED);
+                w.put(from);
+                w.put_seq(remaining);
+                w.put_seq(path_back);
+                w.put_bytes(inner);
+            }
+            NylonMsg::OpenReq { requester, requester_ep, remaining, path_back } => {
+                w.put_u8(TAG_OPEN_REQ);
+                w.put(requester);
+                w.put_opt(requester_ep);
+                w.put_seq(remaining);
+                w.put_seq(path_back);
+            }
+            NylonMsg::OpenAck { target, target_ep, remaining } => {
+                w.put_u8(TAG_OPEN_ACK);
+                w.put(target);
+                w.put_opt(target_ep);
+                w.put_seq(remaining);
+            }
+            NylonMsg::Punch { from } => {
+                w.put_u8(TAG_PUNCH);
+                w.put(from);
+            }
+            NylonMsg::PunchAck { from } => {
+                w.put_u8(TAG_PUNCH_ACK);
+                w.put(from);
+            }
+            NylonMsg::Ping { from, key } => {
+                w.put_u8(TAG_PING);
+                w.put(from);
+                w.put_opt(key);
+            }
+            NylonMsg::Pong { from, key } => {
+                w.put_u8(TAG_PONG);
+                w.put(from);
+                w.put_opt(key);
+            }
+            NylonMsg::App { from, payload } => {
+                w.put_u8(TAG_APP);
+                w.put(from);
+                w.put_bytes(payload);
+            }
+        }
+    }
+}
+
+impl WireDecode for NylonMsg {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(match r.take_u8()? {
+            TAG_GOSSIP_REQ => NylonMsg::GossipReq {
+                sender: r.take()?,
+                sender_public: r.take()?,
+                entries: r.take_seq()?,
+                key: r.take_opt()?,
+            },
+            TAG_GOSSIP_RESP => NylonMsg::GossipResp {
+                sender: r.take()?,
+                sender_public: r.take()?,
+                entries: r.take_seq()?,
+                key: r.take_opt()?,
+            },
+            TAG_RELAYED => NylonMsg::Relayed {
+                from: r.take()?,
+                remaining: r.take_seq()?,
+                path_back: r.take_seq()?,
+                inner: r.take_bytes()?.to_vec(),
+            },
+            TAG_OPEN_REQ => NylonMsg::OpenReq {
+                requester: r.take()?,
+                requester_ep: r.take_opt()?,
+                remaining: r.take_seq()?,
+                path_back: r.take_seq()?,
+            },
+            TAG_OPEN_ACK => NylonMsg::OpenAck {
+                target: r.take()?,
+                target_ep: r.take_opt()?,
+                remaining: r.take_seq()?,
+            },
+            TAG_PUNCH => NylonMsg::Punch { from: r.take()? },
+            TAG_PUNCH_ACK => NylonMsg::PunchAck { from: r.take()? },
+            TAG_PING => NylonMsg::Ping { from: r.take()?, key: r.take_opt()? },
+            TAG_PONG => NylonMsg::Pong { from: r.take()?, key: r.take_opt()? },
+            TAG_APP => NylonMsg::App { from: r.take()?, payload: r.take_bytes()?.to_vec() },
+            _ => return Err(WireError::new("unknown Nylon message tag")),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whisper_net::wire::{WireDecode, WireEncode};
+
+    fn round_trip(msg: NylonMsg) {
+        let bytes = msg.to_wire();
+        assert_eq!(NylonMsg::from_wire(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn gossip_round_trip() {
+        round_trip(NylonMsg::GossipReq {
+            sender: NodeId(1),
+            sender_public: true,
+            entries: vec![ViewEntry {
+                node: NodeId(2),
+                age: 3,
+                public: false,
+                route: vec![NodeId(4)],
+            }],
+            key: Some(vec![1, 2, 3]),
+        });
+        round_trip(NylonMsg::GossipResp {
+            sender: NodeId(1),
+            sender_public: false,
+            entries: vec![],
+            key: None,
+        });
+    }
+
+    #[test]
+    fn relayed_round_trip() {
+        round_trip(NylonMsg::Relayed {
+            from: NodeId(1),
+            remaining: vec![NodeId(2), NodeId(3)],
+            path_back: vec![NodeId(1)],
+            inner: b"inner".to_vec(),
+        });
+    }
+
+    #[test]
+    fn open_handshake_round_trip() {
+        round_trip(NylonMsg::OpenReq {
+            requester: NodeId(1),
+            requester_ep: Some(Endpoint { node: NodeId(1), port: 9 }),
+            remaining: vec![NodeId(5)],
+            path_back: vec![NodeId(1), NodeId(4)],
+        });
+        round_trip(NylonMsg::OpenAck {
+            target: NodeId(5),
+            target_ep: None,
+            remaining: vec![NodeId(4), NodeId(1)],
+        });
+        round_trip(NylonMsg::Punch { from: NodeId(7) });
+        round_trip(NylonMsg::PunchAck { from: NodeId(7) });
+    }
+
+    #[test]
+    fn ping_pong_round_trip() {
+        round_trip(NylonMsg::Ping { from: NodeId(1), key: Some(vec![9; 40]) });
+        round_trip(NylonMsg::Pong { from: NodeId(2), key: None });
+    }
+
+    #[test]
+    fn app_round_trip() {
+        round_trip(NylonMsg::App { from: NodeId(1), payload: vec![0; 1000] });
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(NylonMsg::from_wire(&[42]).is_err());
+        assert!(NylonMsg::from_wire(&[]).is_err());
+        // Valid message with trailing garbage.
+        let mut bytes = NylonMsg::Punch { from: NodeId(1) }.to_wire();
+        bytes.push(0);
+        assert!(NylonMsg::from_wire(&bytes).is_err());
+    }
+}

@@ -1,0 +1,637 @@
+//! The Nylon PSS protocol core: gossip cycles, NAT-resilient exchange
+//! delivery, the P-node-biased view, the public key sampling service and
+//! the connection backlog maintenance.
+//!
+//! [`NylonCore`] is written sans-I/O-style: it is driven by `on_start` /
+//! `on_message` / `on_timer` calls and returns [`NylonEvent`]s for the
+//! layer above (the WCL embeds a `NylonCore` inside its own node type).
+//! [`NylonNode`] is a thin [`Protocol`] wrapper for running the PSS
+//! standalone, as the Fig. 5 / Fig. 6 experiments do.
+
+use crate::backlog::{CbEntry, ConnectionBacklog};
+use crate::config::NylonConfig;
+use crate::messages::NylonMsg;
+use crate::transport::{peer_of_token, SendOutcome, Transport, TIMER_OPEN_TIMEOUT};
+use crate::view::{View, ViewEntry};
+use std::collections::HashMap;
+use whisper_crypto::rsa::{KeyPair, PublicKey};
+use whisper_net::sim::{Ctx, Protocol};
+use whisper_net::wire::{WireDecode, WireEncode};
+use whisper_net::{Endpoint, NodeId, SimDuration, SimTime};
+
+/// Timer token: periodic gossip cycle.
+const TIMER_GOSSIP_CYCLE: u64 = 1;
+/// Timer token kind: gossip response timeout (generation in the high bits).
+const TIMER_GOSSIP_TIMEOUT: u64 = 2;
+/// Timer token kind: delayed re-punch towards an opening peer (peer id in
+/// the high bits). Real hole punching repeats its probes: the first punch
+/// can be filtered if it beats the other side's own outbound packet (e.g.
+/// symmetric → restricted-cone), while a later one passes.
+const TIMER_PUNCH_RETRY: u64 = 8;
+/// How many delayed re-punches to send, and their spacing.
+const PUNCH_RETRIES: u8 = 2;
+const PUNCH_RETRY_DELAY: SimDuration = SimDuration::from_millis(250);
+
+/// How long a pending CB ping may stay unanswered before we retry another
+/// candidate.
+const PING_PENDING_TTL: SimDuration = SimDuration::from_secs(5);
+
+/// Upcalls from the PSS to the layer above.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NylonEvent {
+    /// An application payload arrived (sent by a peer's `send_app`).
+    Payload {
+        /// Originating node.
+        from: NodeId,
+        /// Opaque upper-layer bytes.
+        data: Vec<u8>,
+    },
+    /// A gossip exchange we initiated completed successfully.
+    GossipCompleted {
+        /// The exchange partner.
+        partner: NodeId,
+    },
+}
+
+/// The Nylon protocol state of one node.
+pub struct NylonCore {
+    cfg: NylonConfig,
+    keypair: KeyPair,
+    id: NodeId,
+    public: bool,
+    view: View,
+    cb: ConnectionBacklog,
+    keystore: HashMap<NodeId, PublicKey>,
+    transport: Transport,
+    bootstrap: Vec<NodeId>,
+    outstanding: Option<(NodeId, u64)>,
+    gossip_gen: u64,
+    ping_pending: HashMap<NodeId, SimTime>,
+    punch_retries: HashMap<NodeId, (Endpoint, u8)>,
+    cycles_run: u64,
+}
+
+impl std::fmt::Debug for NylonCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NylonCore")
+            .field("id", &self.id)
+            .field("public", &self.public)
+            .field("view", &self.view.len())
+            .field("cb", &self.cb.len())
+            .finish()
+    }
+}
+
+impl NylonCore {
+    /// Creates a node with the given configuration and RSA key pair.
+    pub fn new(cfg: NylonConfig, keypair: KeyPair) -> Self {
+        cfg.validate();
+        let cb = ConnectionBacklog::new(cfg.cb_capacity());
+        NylonCore {
+            cfg,
+            keypair,
+            id: NodeId(u64::MAX),
+            public: false,
+            view: View::new(),
+            cb,
+            keystore: HashMap::new(),
+            transport: Transport::new(),
+            bootstrap: Vec::new(),
+            outstanding: None,
+            gossip_gen: 0,
+            ping_pending: HashMap::new(),
+            punch_retries: HashMap::new(),
+            cycles_run: 0,
+        }
+    }
+
+    /// Registers public bootstrap nodes; they seed the initial view.
+    pub fn set_bootstrap(&mut self, nodes: Vec<NodeId>) {
+        self.bootstrap = nodes;
+    }
+
+    // ---------------------------------------------------------------
+    // Accessors used by the WCL / experiments
+    // ---------------------------------------------------------------
+
+    /// This node's identifier (valid after `on_start`).
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Whether this node is a P-node.
+    pub fn is_public(&self) -> bool {
+        self.public
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &NylonConfig {
+        &self.cfg
+    }
+
+    /// This node's key pair.
+    pub fn keypair(&self) -> &KeyPair {
+        &self.keypair
+    }
+
+    /// The current view.
+    pub fn view(&self) -> &View {
+        &self.view
+    }
+
+    /// The connection backlog.
+    pub fn cb(&self) -> &ConnectionBacklog {
+        &self.cb
+    }
+
+    /// The known public key of `node`, if the key sampling service has
+    /// seen it.
+    pub fn key_of(&self, node: NodeId) -> Option<&PublicKey> {
+        self.keystore.get(&node)
+    }
+
+    /// Number of completed gossip cycles (diagnostics).
+    pub fn cycles_run(&self) -> u64 {
+        self.cycles_run
+    }
+
+    /// The `getPeer()` API of Fig. 1: a uniformly random view entry.
+    pub fn get_peer(&self, ctx: &mut Ctx<'_>) -> Option<ViewEntry> {
+        self.view.random(ctx.rng()).cloned()
+    }
+
+    /// Whether a direct send to `to` would currently work.
+    pub fn can_reach_directly(&self, to: NodeId, to_public: bool, now: SimTime) -> bool {
+        self.transport.can_reach_directly(to, to_public, now)
+    }
+
+    /// Sends an opaque upper-layer payload to `to`.
+    ///
+    /// `to_public` and `route_hint` come from whatever directory entry the
+    /// caller holds (CB entry, view entry, or PPSS private-view entry).
+    pub fn send_app(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        to: NodeId,
+        to_public: bool,
+        route_hint: &[NodeId],
+        payload: Vec<u8>,
+    ) -> SendOutcome {
+        let msg = NylonMsg::App { from: self.id, payload };
+        self.send_msg(ctx, to, to_public, &msg, route_hint)
+    }
+
+    // ---------------------------------------------------------------
+    // Protocol driver entry points
+    // ---------------------------------------------------------------
+
+    /// Must be called once when the node starts.
+    pub fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.id = ctx.id();
+        self.public = ctx.nat_type().is_public();
+        for &b in &self.bootstrap.clone() {
+            if b != self.id {
+                self.view.insert(ViewEntry { node: b, age: 0, public: true, route: vec![] });
+            }
+        }
+        // Desynchronize cycles across nodes.
+        let offset = SimDuration::from_micros(
+            rand::Rng::gen_range(ctx.rng(), 0..self.cfg.cycle.as_micros().max(1)),
+        );
+        ctx.set_timer(offset, TIMER_GOSSIP_CYCLE);
+    }
+
+    /// Timer dispatch; returns upcall events.
+    pub fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) -> Vec<NylonEvent> {
+        match token & 0xFF {
+            TIMER_GOSSIP_CYCLE => {
+                self.do_gossip_cycle(ctx);
+                ctx.set_timer(self.cfg.cycle, TIMER_GOSSIP_CYCLE);
+            }
+            TIMER_GOSSIP_TIMEOUT => {
+                let gen = token >> 8;
+                if let Some((partner, g)) = self.outstanding {
+                    if g == gen {
+                        // The healer policy drops unresponsive oldest
+                        // entries so failed nodes leave views quickly.
+                        if let Some(e) = self.view.get(partner) {
+                            ctx.metrics().count(
+                                if e.public { "pss.timeout_removed_public" } else { "pss.timeout_removed_natted" },
+                                1,
+                            );
+                        }
+                        self.view.remove(partner);
+                        self.outstanding = None;
+                        ctx.metrics().count("pss.gossip_timeout", 1);
+                    }
+                }
+            }
+            TIMER_OPEN_TIMEOUT => {
+                let peer = peer_of_token(token);
+                self.transport.on_open_timeout(ctx, self.id, peer);
+            }
+            TIMER_PUNCH_RETRY => {
+                let peer = peer_of_token(token);
+                if let Some((ep, remaining)) = self.punch_retries.remove(&peer) {
+                    let punch = NylonMsg::Punch { from: self.id };
+                    ctx.send_to(ep, punch.to_wire());
+                    if remaining > 1 {
+                        self.punch_retries.insert(peer, (ep, remaining - 1));
+                        ctx.set_timer(PUNCH_RETRY_DELAY, TIMER_PUNCH_RETRY | (peer.0 << 8));
+                    }
+                }
+            }
+            _ => {}
+        }
+        Vec::new()
+    }
+
+    /// Message dispatch; returns upcall events.
+    pub fn on_message(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        from: NodeId,
+        from_ep: Endpoint,
+        data: &[u8],
+    ) -> Vec<NylonEvent> {
+        let Ok(msg) = NylonMsg::from_wire(data) else {
+            ctx.metrics().count("pss.malformed", 1);
+            return Vec::new();
+        };
+        // Any direct packet proves a working return path to `from` and
+        // completes a pending hole punch towards it.
+        self.transport.note_contact(from, from_ep, ctx.now());
+        self.transport.on_established(ctx, from, from_ep);
+        self.punch_retries.remove(&from);
+        let mut events = Vec::new();
+        self.handle_msg(ctx, from, from_ep, msg, &mut events);
+        events
+    }
+
+    // ---------------------------------------------------------------
+    // Gossip
+    // ---------------------------------------------------------------
+
+    fn self_entry(&self) -> ViewEntry {
+        ViewEntry { node: self.id, age: 0, public: self.public, route: vec![] }
+    }
+
+    fn do_gossip_cycle(&mut self, ctx: &mut Ctx<'_>) {
+        self.cycles_run += 1;
+        self.view.increment_ages();
+        if self.view.is_empty() {
+            // Rejoin through the bootstrap list.
+            for &b in &self.bootstrap.clone() {
+                if b != self.id {
+                    self.view.insert(ViewEntry { node: b, age: 0, public: true, route: vec![] });
+                }
+            }
+        }
+        let Some(partner_entry) = self.view.oldest().cloned() else {
+            return;
+        };
+        let partner = partner_entry.node;
+        let buffer = self.view.make_buffer(
+            self.self_entry(),
+            partner,
+            self.cfg.gossip_len,
+            self.id,
+            self.cfg.max_route,
+            ctx.rng(),
+        );
+        let msg = NylonMsg::GossipReq {
+            sender: self.id,
+            sender_public: self.public,
+            entries: buffer,
+            key: self.key_payload(),
+        };
+        ctx.metrics().count("pss.gossip_initiated", 1);
+        let outcome = self.send_msg(ctx, partner, partner_entry.public, &msg, &partner_entry.route);
+        if outcome == SendOutcome::Failed {
+            ctx.metrics().count(
+                if partner_entry.public { "pss.sendfail_removed_public" } else { "pss.sendfail_removed_natted" },
+                1,
+            );
+            self.view.remove(partner);
+            return;
+        }
+        ctx.metrics().count(
+            if partner_entry.public { "pss.partner_public" } else { "pss.partner_natted" },
+            1,
+        );
+        self.gossip_gen += 1;
+        self.outstanding = Some((partner, self.gossip_gen));
+        let timeout = SimDuration::from_micros(self.cfg.cycle.as_micros() / 2);
+        ctx.set_timer(timeout, TIMER_GOSSIP_TIMEOUT | (self.gossip_gen << 8));
+    }
+
+    fn key_payload(&self) -> Option<Vec<u8>> {
+        self.cfg.key_sampling.then(|| self.keypair.public().to_bytes())
+    }
+
+    fn learn_key(&mut self, node: NodeId, key: &Option<Vec<u8>>) {
+        if let Some(bytes) = key {
+            if let Some(pk) = PublicKey::from_bytes(bytes) {
+                self.cb.set_key(node, pk.clone());
+                self.keystore.insert(node, pk);
+            }
+        }
+    }
+
+    fn insert_cb(&mut self, node: NodeId, public: bool) {
+        let key = self.keystore.get(&node).cloned();
+        self.cb.insert(CbEntry { node, public, key }, self.cfg.pi);
+    }
+
+    /// Keeps Π P-nodes in the CB by pinging view P-nodes not yet present
+    /// (the paper's "empty message" that opens a path from the P-node back
+    /// to us).
+    fn maintain_cb(&mut self, ctx: &mut Ctx<'_>) {
+        if self.cfg.pi == 0 {
+            return;
+        }
+        let now = ctx.now();
+        self.ping_pending.retain(|_, t| now.since(*t) < PING_PENDING_TTL);
+        let missing = self.cb.missing_publics(self.cfg.pi);
+        let in_flight = self.ping_pending.len();
+        if missing <= in_flight {
+            return;
+        }
+        let candidates: Vec<NodeId> = self
+            .view
+            .entries()
+            .iter()
+            .filter(|e| e.public && !self.cb.contains(e.node) && !self.ping_pending.contains_key(&e.node))
+            .map(|e| e.node)
+            .take(missing - in_flight)
+            .collect();
+        for candidate in candidates {
+            let ping = NylonMsg::Ping { from: self.id, key: self.key_payload() };
+            ctx.send_to(Endpoint::public(candidate), ping.to_wire());
+            ctx.metrics().count("pss.cb_ping_sent", 1);
+            self.ping_pending.insert(candidate, now);
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Message handling
+    // ---------------------------------------------------------------
+
+    fn handle_msg(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        outer_from: NodeId,
+        outer_ep: Endpoint,
+        msg: NylonMsg,
+        events: &mut Vec<NylonEvent>,
+    ) {
+        match msg {
+            NylonMsg::GossipReq { sender, sender_public, entries, key } => {
+                self.learn_key(sender, &key);
+                // Build the reply from the *pre-merge* view, as the
+                // push-pull exchange prescribes.
+                let reply_buffer = self.view.make_buffer(
+                    self.self_entry(),
+                    sender,
+                    self.cfg.gossip_len,
+                    self.id,
+                    self.cfg.max_route,
+                    ctx.rng(),
+                );
+                self.view.merge(
+                    entries,
+                    self.id,
+                    self.cfg.view_size,
+                    self.cfg.pi,
+                    self.cfg.oldest_p_discard,
+                );
+                self.insert_cb(sender, sender_public);
+                let resp = NylonMsg::GossipResp {
+                    sender: self.id,
+                    sender_public: self.public,
+                    entries: reply_buffer,
+                    key: self.key_payload(),
+                };
+                self.send_msg(ctx, sender, sender_public, &resp, &[]);
+                self.maintain_cb(ctx);
+                ctx.metrics().count("pss.gossip_served", 1);
+            }
+            NylonMsg::GossipResp { sender, sender_public, entries, key } => {
+                self.learn_key(sender, &key);
+                if matches!(self.outstanding, Some((p, _)) if p == sender) {
+                    self.outstanding = None;
+                }
+                self.view.merge(
+                    entries,
+                    self.id,
+                    self.cfg.view_size,
+                    self.cfg.pi,
+                    self.cfg.oldest_p_discard,
+                );
+                self.insert_cb(sender, sender_public);
+                self.maintain_cb(ctx);
+                ctx.metrics().count("pss.gossip_completed", 1);
+                events.push(NylonEvent::GossipCompleted { partner: sender });
+            }
+            NylonMsg::Relayed { from, remaining, path_back, inner } => {
+                if remaining.is_empty() {
+                    // Final destination: remember the reverse route, then
+                    // process the inner message as if it came from `from`.
+                    let mut route: Vec<NodeId> = path_back.clone();
+                    route.reverse();
+                    if !route.is_empty() {
+                        self.transport.note_reply_route(from, route, ctx.now());
+                    }
+                    ctx.metrics().count("pss.relayed_delivered", 1);
+                    if let Ok(inner_msg) = NylonMsg::from_wire(&inner) {
+                        self.handle_msg(ctx, from, outer_ep, inner_msg, events);
+                    }
+                } else {
+                    // Forward one hop.
+                    let next = remaining[0];
+                    let mut path = path_back;
+                    path.push(self.id);
+                    let fwd = NylonMsg::Relayed {
+                        from,
+                        remaining: remaining[1..].to_vec(),
+                        path_back: path,
+                        inner,
+                    };
+                    let ep = self
+                        .transport
+                        .contact(next, ctx.now())
+                        .unwrap_or(Endpoint::public(next));
+                    ctx.send_to(ep, fwd.to_wire());
+                    ctx.metrics().count("pss.relayed_forwarded", 1);
+                }
+            }
+            NylonMsg::OpenReq { requester, mut requester_ep, remaining, path_back } => {
+                // The first relay (receiving straight from the requester)
+                // records the externally observed endpoint.
+                if requester_ep.is_none() && outer_from == requester {
+                    requester_ep = Some(outer_ep);
+                }
+                if remaining.is_empty() {
+                    // We are the target: punch towards the requester (with
+                    // delayed re-punches — the first probe can race the
+                    // requester's own outbound packet through its filter)
+                    // and answer along the reverse path.
+                    if let Some(rep) = requester_ep {
+                        let punch = NylonMsg::Punch { from: self.id };
+                        ctx.send_to(rep, punch.to_wire());
+                        self.punch_retries.insert(requester, (rep, PUNCH_RETRIES));
+                        ctx.set_timer(PUNCH_RETRY_DELAY, TIMER_PUNCH_RETRY | (requester.0 << 8));
+                    }
+                    let mut route: Vec<NodeId> = path_back;
+                    route.reverse();
+                    if let Some((&next, rest)) = route.split_first() {
+                        let ack = NylonMsg::OpenAck {
+                            target: self.id,
+                            target_ep: None,
+                            remaining: rest.to_vec(),
+                        };
+                        let ep = self
+                            .transport
+                            .contact(next, ctx.now())
+                            .unwrap_or(Endpoint::public(next));
+                        ctx.send_to(ep, ack.to_wire());
+                    }
+                    ctx.metrics().count("pss.open_served", 1);
+                } else {
+                    let next = remaining[0];
+                    let mut path = path_back;
+                    path.push(self.id);
+                    let fwd = NylonMsg::OpenReq {
+                        requester,
+                        requester_ep,
+                        remaining: remaining[1..].to_vec(),
+                        path_back: path,
+                    };
+                    let ep = self
+                        .transport
+                        .contact(next, ctx.now())
+                        .unwrap_or(Endpoint::public(next));
+                    ctx.send_to(ep, fwd.to_wire());
+                }
+            }
+            NylonMsg::OpenAck { target, mut target_ep, remaining } => {
+                if target_ep.is_none() && outer_from == target {
+                    target_ep = Some(outer_ep);
+                }
+                if remaining.is_empty() {
+                    // We are the requester: punch towards the target's
+                    // observed endpoint. Any direct answer (PunchAck or
+                    // the target's own punch) establishes the channel.
+                    if let Some(tep) = target_ep {
+                        let punch = NylonMsg::Punch { from: self.id };
+                        ctx.send_to(tep, punch.to_wire());
+                        ctx.send_to(tep, punch.to_wire());
+                    }
+                } else {
+                    let next = remaining[0];
+                    let fwd = NylonMsg::OpenAck {
+                        target,
+                        target_ep,
+                        remaining: remaining[1..].to_vec(),
+                    };
+                    let ep = self
+                        .transport
+                        .contact(next, ctx.now())
+                        .unwrap_or(Endpoint::public(next));
+                    ctx.send_to(ep, fwd.to_wire());
+                }
+            }
+            NylonMsg::Punch { from } => {
+                // Contact already recorded by `on_message`; acknowledge so
+                // the puncher learns its probe went through.
+                let ack = NylonMsg::PunchAck { from: self.id };
+                ctx.send_to(outer_ep, ack.to_wire());
+                let _ = from;
+            }
+            NylonMsg::PunchAck { .. } => {
+                // Contact recorded at the outer level; nothing else to do.
+            }
+            NylonMsg::Ping { from, key } => {
+                self.learn_key(from, &key);
+                let pong = NylonMsg::Pong { from: self.id, key: self.key_payload() };
+                ctx.send_to(outer_ep, pong.to_wire());
+            }
+            NylonMsg::Pong { from, key } => {
+                self.learn_key(from, &key);
+                self.ping_pending.remove(&from);
+                // Pings target P-nodes only, so the pong sender is public.
+                self.insert_cb(from, true);
+            }
+            NylonMsg::App { from, payload } => {
+                events.push(NylonEvent::Payload { from, data: payload });
+            }
+        }
+    }
+
+    fn send_msg(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        to: NodeId,
+        to_public: bool,
+        msg: &NylonMsg,
+        route_hint: &[NodeId],
+    ) -> SendOutcome {
+        self.transport
+            .send(ctx, self.id, to, to_public, msg, route_hint, self.cfg.open_timeout)
+    }
+}
+
+/// A standalone PSS node: [`NylonCore`] wrapped as a [`Protocol`].
+#[derive(Debug)]
+pub struct NylonNode {
+    core: NylonCore,
+    payloads_received: u64,
+}
+
+impl NylonNode {
+    /// Creates a standalone PSS node.
+    pub fn new(core: NylonCore) -> Self {
+        NylonNode { core, payloads_received: 0 }
+    }
+
+    /// The wrapped protocol core.
+    pub fn core(&self) -> &NylonCore {
+        &self.core
+    }
+
+    /// Mutable access to the wrapped core.
+    pub fn core_mut(&mut self) -> &mut NylonCore {
+        &mut self.core
+    }
+
+    /// Number of application payloads received (diagnostics).
+    pub fn payloads_received(&self) -> u64 {
+        self.payloads_received
+    }
+}
+
+impl Protocol for NylonNode {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.core.on_start(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, from_ep: Endpoint, data: &[u8]) {
+        for event in self.core.on_message(ctx, from, from_ep, data) {
+            if matches!(event, NylonEvent::Payload { .. }) {
+                self.payloads_received += 1;
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        let _ = self.core.on_timer(ctx, token);
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}

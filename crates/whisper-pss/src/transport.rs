@@ -1,0 +1,320 @@
+//! NAT-resilient message delivery: contact tracking, rendezvous-chain
+//! relaying, and the hole-punching state machine.
+//!
+//! A node can reach a peer directly when it holds a *fresh contact* — an
+//! endpoint it recently received a packet from (replying to a sender
+//! always traverses the sender's NAT while the association rule lives).
+//! Otherwise it either relays messages along the peer's rendezvous chain
+//! or first attempts to punch a hole through both NATs via an
+//! `OpenReq`/`OpenAck`/`Punch` handshake coordinated over that chain.
+//! Whether punching succeeds is decided by the emulated NAT devices, not
+//! by this code.
+
+use crate::messages::NylonMsg;
+use std::collections::HashMap;
+use whisper_net::sim::Ctx;
+use whisper_net::wire::WireEncode;
+use whisper_net::{Endpoint, NodeId, SimDuration, SimTime};
+
+/// Validity window for a learned contact. Kept below the (TCP-style) NAT
+/// association lease so we never use an endpoint whose association rule
+/// is about to expire. The simulator's default lease is 2 hours; real
+/// Cisco TCP leases are 24 hours (paper §II-C).
+pub const CONTACT_TTL: SimDuration = SimDuration::from_secs(5760);
+
+/// Validity window for a relayed reverse route.
+pub const REPLY_ROUTE_TTL: SimDuration = SimDuration::from_secs(120);
+
+/// How a message was (or was not) handed to the network.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SendOutcome {
+    /// Sent directly to a known-good endpoint.
+    Direct,
+    /// Wrapped and forwarded along a relay chain.
+    Relayed,
+    /// Queued while a hole-punching handshake runs; will be flushed
+    /// directly on success or relayed on timeout.
+    Queued,
+    /// No contact, no reply route, no usable chain: dropped.
+    Failed,
+}
+
+#[derive(Clone, Debug)]
+struct Contact {
+    ep: Endpoint,
+    expires: SimTime,
+}
+
+#[derive(Clone, Debug)]
+struct PendingOpen {
+    /// Relay chain (last element = target) used for the handshake and the
+    /// relay fallback.
+    chain: Vec<NodeId>,
+    /// Serialized inner messages awaiting delivery.
+    queued: Vec<Vec<u8>>,
+}
+
+/// Timer token kinds used by the transport (low byte of the token).
+pub const TIMER_OPEN_TIMEOUT: u64 = 3;
+
+/// Packs an open-timeout token for `peer`.
+pub fn open_timeout_token(peer: NodeId) -> u64 {
+    TIMER_OPEN_TIMEOUT | (peer.0 << 8)
+}
+
+/// Recovers the peer from an open-timeout token.
+pub fn peer_of_token(token: u64) -> NodeId {
+    NodeId(token >> 8)
+}
+
+/// The per-node transport state.
+#[derive(Debug, Default)]
+pub struct Transport {
+    contacts: HashMap<NodeId, Contact>,
+    reply_routes: HashMap<NodeId, (Vec<NodeId>, SimTime)>,
+    opens: HashMap<NodeId, PendingOpen>,
+}
+
+impl Transport {
+    /// Creates empty transport state.
+    pub fn new() -> Self {
+        Transport::default()
+    }
+
+    /// Records that a packet was just received from `peer` at `ep`:
+    /// replying to that endpoint will traverse `peer`'s NAT while the
+    /// association lives.
+    pub fn note_contact(&mut self, peer: NodeId, ep: Endpoint, now: SimTime) {
+        self.contacts.insert(peer, Contact { ep, expires: now + CONTACT_TTL });
+    }
+
+    /// Records a working relayed route to `origin` (relays first, then
+    /// `origin` itself), learned from a relayed message's `path_back`.
+    pub fn note_reply_route(&mut self, origin: NodeId, route: Vec<NodeId>, now: SimTime) {
+        self.reply_routes.insert(origin, (route, now + REPLY_ROUTE_TTL));
+    }
+
+    /// Forgets everything known about `peer` (e.g. it was detected dead).
+    pub fn forget(&mut self, peer: NodeId) {
+        self.contacts.remove(&peer);
+        self.reply_routes.remove(&peer);
+        self.opens.remove(&peer);
+    }
+
+    /// The fresh endpoint for `peer`, if any.
+    pub fn contact(&self, peer: NodeId, now: SimTime) -> Option<Endpoint> {
+        self.contacts
+            .get(&peer)
+            .filter(|c| c.expires > now)
+            .map(|c| c.ep)
+    }
+
+    /// Whether a direct send to `peer` is currently possible.
+    pub fn can_reach_directly(&self, peer: NodeId, peer_public: bool, now: SimTime) -> bool {
+        peer_public || self.contact(peer, now).is_some()
+    }
+
+    /// Whether an open handshake towards `peer` is in flight.
+    pub fn opening(&self, peer: NodeId) -> bool {
+        self.opens.contains_key(&peer)
+    }
+
+    /// Number of fresh contacts (diagnostics).
+    pub fn live_contacts(&self, now: SimTime) -> usize {
+        self.contacts.values().filter(|c| c.expires > now).count()
+    }
+
+    /// Sends `msg` to `to` using the best available mechanism.
+    ///
+    /// * `to_public` — whether the peer is directly reachable;
+    /// * `route_hint` — rendezvous chain from a view entry (first element
+    ///   must be a node we can reach), used for relaying / punching;
+    /// * `me` — our node id;
+    /// * `open_timeout` — how long to wait for hole punching before the
+    ///   relay fallback.
+    ///
+    /// Returns how the message travelled.
+    #[allow(clippy::too_many_arguments)]
+    pub fn send(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        me: NodeId,
+        to: NodeId,
+        to_public: bool,
+        msg: &NylonMsg,
+        route_hint: &[NodeId],
+        open_timeout: SimDuration,
+    ) -> SendOutcome {
+        let now = ctx.now();
+        // 1. Fresh direct contact (covers public peers we have talked to,
+        //    and NATted peers whose association towards us is open).
+        if let Some(ep) = self.contact(to, now) {
+            ctx.send_to(ep, msg.to_wire());
+            return SendOutcome::Direct;
+        }
+        // 2. Public peer: always addressable.
+        if to_public {
+            ctx.send_to(Endpoint::public(to), msg.to_wire());
+            return SendOutcome::Direct;
+        }
+        // 3. Fresh relayed reverse route.
+        let reply_route = self
+            .reply_routes
+            .get(&to)
+            .filter(|(_, exp)| *exp > now)
+            .map(|(r, _)| r.clone());
+        if let Some(route) = reply_route {
+            if self.send_relayed(ctx, me, &route, msg, now) {
+                return SendOutcome::Relayed;
+            }
+        }
+        // 4. Rendezvous chain: queue the message and start (or join) a
+        //    hole-punching handshake; the timeout handler falls back to
+        //    relaying over the same chain.
+        if !route_hint.is_empty() {
+            let mut chain = route_hint.to_vec();
+            chain.push(to);
+            let inner = msg.to_wire();
+            if let Some(open) = self.opens.get_mut(&to) {
+                open.queued.push(inner);
+                return SendOutcome::Queued;
+            }
+            // The handshake starts at the first hop: use a fresh contact
+            // when we have one, else try its public endpoint (if the hop
+            // is NATted with no open association the packet dies at its
+            // NAT and the timeout cleans up).
+            let first = chain[0];
+            let first_ep = self.contact(first, now).unwrap_or(Endpoint::public(first));
+            self.start_open(ctx, me, first_ep, &chain);
+            self.opens
+                .insert(to, PendingOpen { chain: chain.clone(), queued: vec![inner] });
+            ctx.set_timer(open_timeout, open_timeout_token(to));
+            return SendOutcome::Queued;
+        }
+        ctx.metrics().count("pss.send_failed", 1);
+        SendOutcome::Failed
+    }
+
+    fn start_open(&mut self, ctx: &mut Ctx<'_>, me: NodeId, first_ep: Endpoint, chain: &[NodeId]) {
+        let open = NylonMsg::OpenReq {
+            requester: me,
+            requester_ep: None,
+            remaining: chain[1..].to_vec(),
+            path_back: vec![me],
+        };
+        ctx.send_to(first_ep, open.to_wire());
+        ctx.metrics().count("pss.open_started", 1);
+    }
+
+    /// Relays `msg` along `route` (relays first, destination last).
+    /// Returns `false` if the first hop is unreachable.
+    pub fn send_relayed(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        me: NodeId,
+        route: &[NodeId],
+        msg: &NylonMsg,
+        now: SimTime,
+    ) -> bool {
+        let Some(&first) = route.first() else {
+            return false;
+        };
+        let Some(ep) = self.contact(first, now).or_else(|| {
+            // Relay chains are built from gossip paths, whose first hop we
+            // have talked to; if the contact expired, try the public
+            // address (works when the relay is a P-node).
+            Some(Endpoint::public(first))
+        }) else {
+            return false;
+        };
+        let relayed = NylonMsg::Relayed {
+            from: me,
+            remaining: route[1..].to_vec(),
+            path_back: vec![me],
+            inner: msg.to_wire(),
+        };
+        ctx.send_to(ep, relayed.to_wire());
+        ctx.metrics().count("pss.relayed_sent", 1);
+        true
+    }
+
+    /// Handles the open-timeout timer for `peer`: if the handshake did not
+    /// complete, flushes queued messages over the relay chain.
+    pub fn on_open_timeout(&mut self, ctx: &mut Ctx<'_>, me: NodeId, peer: NodeId) {
+        let Some(open) = self.opens.remove(&peer) else {
+            return; // handshake completed in time
+        };
+        ctx.metrics().count("pss.open_relay_fallback", 1);
+        let now = ctx.now();
+        for inner in open.queued {
+            // Re-wrap each queued message as a relayed delivery.
+            let Some(&first) = open.chain.first() else { continue };
+            let ep = self
+                .contact(first, now)
+                .unwrap_or(Endpoint::public(first));
+            let relayed = NylonMsg::Relayed {
+                from: me,
+                remaining: open.chain[1..].to_vec(),
+                path_back: vec![me],
+                inner,
+            };
+            ctx.send_to(ep, relayed.to_wire());
+        }
+        // Remember the chain as a (tentative) reply route so immediate
+        // follow-ups do not restart the handshake.
+        self.reply_routes
+            .insert(peer, (open.chain, now + REPLY_ROUTE_TTL));
+    }
+
+    /// Completes an open handshake towards `peer` (a direct packet
+    /// arrived): flushes queued messages to the now-known endpoint.
+    pub fn on_established(&mut self, ctx: &mut Ctx<'_>, peer: NodeId, ep: Endpoint) {
+        if let Some(open) = self.opens.remove(&peer) {
+            ctx.metrics().count("pss.open_punch_ok", 1);
+            for inner in open.queued {
+                ctx.send_to(ep, inner);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_round_trip() {
+        let t = open_timeout_token(NodeId(123456));
+        assert_eq!(t & 0xFF, TIMER_OPEN_TIMEOUT);
+        assert_eq!(peer_of_token(t), NodeId(123456));
+    }
+
+    #[test]
+    fn contacts_expire() {
+        let mut t = Transport::new();
+        let ep = Endpoint { node: NodeId(2), port: 7 };
+        t.note_contact(NodeId(2), ep, SimTime::ZERO);
+        assert_eq!(t.contact(NodeId(2), SimTime::ZERO), Some(ep));
+        let late = SimTime::ZERO + CONTACT_TTL + SimDuration::from_secs(1);
+        assert_eq!(t.contact(NodeId(2), late), None);
+    }
+
+    #[test]
+    fn can_reach_directly_logic() {
+        let mut t = Transport::new();
+        assert!(t.can_reach_directly(NodeId(5), true, SimTime::ZERO), "public");
+        assert!(!t.can_reach_directly(NodeId(5), false, SimTime::ZERO));
+        t.note_contact(NodeId(5), Endpoint { node: NodeId(5), port: 3 }, SimTime::ZERO);
+        assert!(t.can_reach_directly(NodeId(5), false, SimTime::ZERO));
+    }
+
+    #[test]
+    fn forget_clears_state() {
+        let mut t = Transport::new();
+        t.note_contact(NodeId(5), Endpoint { node: NodeId(5), port: 3 }, SimTime::ZERO);
+        t.note_reply_route(NodeId(5), vec![NodeId(1), NodeId(5)], SimTime::ZERO);
+        t.forget(NodeId(5));
+        assert_eq!(t.contact(NodeId(5), SimTime::ZERO), None);
+        assert_eq!(t.live_contacts(SimTime::ZERO), 0);
+    }
+}

