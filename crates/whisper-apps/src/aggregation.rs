@@ -150,7 +150,7 @@ impl GroupApp for AggregationApp {
         if view.is_empty() {
             return;
         }
-        let pick = rand::Rng::gen_range(ctx.rng(), 0..view.len());
+        let pick = whisper_rand::Rng::gen_range(ctx.rng(), 0..view.len());
         let partner = view[pick].node;
         let msg = AggMsg::Request { value: self.state.value() }.to_wire();
         // Ship our entry so the partner can answer even when we are not

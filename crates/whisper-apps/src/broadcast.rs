@@ -217,7 +217,7 @@ impl BroadcastApp {
             return;
         }
         let mut targets: Vec<NodeId> = view.iter().map(|e| e.node).collect();
-        use rand::seq::SliceRandom;
+        use whisper_rand::seq::SliceRandom;
         targets.shuffle(ctx.rng());
         let msg = BcastMsg::Gossip {
             events: self.freshest_events(),

@@ -485,7 +485,7 @@ impl GroupApp for GosSkipApp {
             if view.is_empty() {
                 None
             } else {
-                let pick = rand::Rng::gen_range(ctx.rng(), 0..view.len());
+                let pick = whisper_rand::Rng::gen_range(ctx.rng(), 0..view.len());
                 let entry = view[pick].clone();
                 Some(SkipDescriptor {
                     key: default_key_of(entry.node),
@@ -612,9 +612,9 @@ mod tests {
 
     #[test]
     fn wire_round_trips() {
-        use rand::SeedableRng;
+        use whisper_rand::SeedableRng;
         use whisper_crypto::rsa::{KeyPair, RsaKeySize};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut rng = whisper_rand::rngs::StdRng::seed_from_u64(3);
         let kp = KeyPair::generate(RsaKeySize::Sim384, &mut rng);
         let d = SkipDescriptor {
             key: 42,

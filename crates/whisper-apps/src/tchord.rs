@@ -400,7 +400,7 @@ impl GroupApp for TChordApp {
             if view.is_empty() {
                 None
             } else {
-                let pick = rand::Rng::gen_range(ctx.rng(), 0..view.len());
+                let pick = whisper_rand::Rng::gen_range(ctx.rng(), 0..view.len());
                 let entry = view[pick].clone();
                 Some(ChordDescriptor { key: ChordKey::of_node(entry.node), entry })
             }
@@ -507,9 +507,9 @@ mod tests {
 
     #[test]
     fn descriptor_wire_round_trip() {
-        use rand::SeedableRng;
+        use whisper_rand::SeedableRng;
         use whisper_crypto::rsa::{KeyPair, RsaKeySize};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut rng = whisper_rand::rngs::StdRng::seed_from_u64(5);
         let kp = KeyPair::generate(RsaKeySize::Sim384, &mut rng);
         let d = ChordDescriptor {
             key: ChordKey(42),

@@ -2,8 +2,8 @@
 //! groups: T-Chord ring convergence and confidential lookups (paper
 //! §V-G), and gossip aggregation used for size estimation.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use whisper_rand::rngs::StdRng;
+use whisper_rand::SeedableRng;
 use whisper_apps::aggregation::{AggregateKind, AggregationApp};
 use whisper_apps::chord::{ChordKey, IdealRing};
 use whisper_apps::tchord::{TChordApp, TChordConfig};

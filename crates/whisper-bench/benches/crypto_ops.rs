@@ -1,16 +1,19 @@
 //! Micro-benchmarks of the cryptographic substrate: the primitives whose
 //! costs drive Table II and the Fig. 7 breakdown.
+//!
+//! Run with `cargo bench --offline --bench crypto_ops`; pass a substring
+//! after `--` to filter (e.g. `-- rsa`).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use whisper_crypto::aes::{Aes128, AesKey, CtrNonce};
 use whisper_crypto::onion::{build_onion, peel, PeelResult};
 use whisper_crypto::rsa::{KeyPair, RsaKeySize};
 use whisper_crypto::sha256::Sha256;
+use whisper_rand::bench::{BatchSize, Bench, Throughput};
+use whisper_rand::rngs::StdRng;
+use whisper_rand::{Rng, SeedableRng};
 
-fn bench_rsa(c: &mut Criterion) {
-    let mut group = c.benchmark_group("rsa");
+fn bench_rsa(c: &mut Bench) {
+    let mut group = c.group("rsa");
     group.sample_size(10);
     for size in [RsaKeySize::Sim384, RsaKeySize::Std1024] {
         let mut rng = StdRng::seed_from_u64(1);
@@ -38,8 +41,8 @@ fn bench_rsa(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_aes(c: &mut Criterion) {
-    let mut group = c.benchmark_group("aes128_ctr");
+fn bench_aes(c: &mut Bench) {
+    let mut group = c.group("aes128_ctr");
     let mut rng = StdRng::seed_from_u64(4);
     let cipher = Aes128::new(&AesKey::random(&mut rng));
     let nonce = CtrNonce::random(&mut rng);
@@ -51,8 +54,8 @@ fn bench_aes(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_sha256(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sha256");
+fn bench_sha256(c: &mut Bench) {
+    let mut group = c.group("sha256");
     for size in [64usize, 4096] {
         let data = vec![0x5Au8; size];
         group.throughput(Throughput::Bytes(size as u64));
@@ -63,8 +66,8 @@ fn bench_sha256(c: &mut Criterion) {
 
 /// The WCL hot path: building a 4-node onion (S → A → B → D, i.e. 3
 /// sealed layers) and peeling one layer at a mix.
-fn bench_onion(c: &mut Criterion) {
-    let mut group = c.benchmark_group("onion");
+fn bench_onion(c: &mut Bench) {
+    let mut group = c.group("onion");
     group.sample_size(20);
     let mut rng = StdRng::seed_from_u64(5);
     let keys: Vec<KeyPair> =
@@ -95,13 +98,13 @@ fn bench_onion(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_bignum(c: &mut Criterion) {
+fn bench_bignum(c: &mut Bench) {
     use whisper_crypto::bignum::BigUint;
-    let mut group = c.benchmark_group("bignum");
+    let mut group = c.group("bignum");
     let mut rng = StdRng::seed_from_u64(8);
     for limbs in [8usize, 16, 32, 64] {
-        let bytes_a: Vec<u8> = (0..limbs * 8).map(|_| rand::Rng::gen(&mut rng)).collect();
-        let bytes_b: Vec<u8> = (0..limbs * 8).map(|_| rand::Rng::gen(&mut rng)).collect();
+        let bytes_a: Vec<u8> = (0..limbs * 8).map(|_| rng.gen()).collect();
+        let bytes_b: Vec<u8> = (0..limbs * 8).map(|_| rng.gen()).collect();
         let a = BigUint::from_bytes_be(&bytes_a);
         let b = BigUint::from_bytes_be(&bytes_b);
         // `mul` dispatches to Karatsuba above the 16-limb threshold.
@@ -116,5 +119,11 @@ fn bench_bignum(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_rsa, bench_aes, bench_sha256, bench_onion, bench_bignum);
-criterion_main!(benches);
+fn main() {
+    let mut bench = Bench::from_args();
+    bench_rsa(&mut bench);
+    bench_aes(&mut bench);
+    bench_sha256(&mut bench);
+    bench_onion(&mut bench);
+    bench_bignum(&mut bench);
+}

@@ -1,15 +1,18 @@
 //! Micro-benchmarks of the protocol machinery: wire codec, view merge,
 //! and raw simulator event throughput.
+//!
+//! Run with `cargo bench --offline --bench protocol`; pass a substring
+//! after `--` to filter (e.g. `-- wire`).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use whisper_net::nat::NatType;
 use whisper_net::sim::{Ctx, Protocol, Sim, SimConfig};
 use whisper_net::wire::{WireDecode, WireEncode};
 use whisper_net::{Endpoint, NodeId, SimDuration};
 use whisper_pss::messages::NylonMsg;
 use whisper_pss::view::{View, ViewEntry};
+use whisper_rand::bench::{Bench, Throughput};
+use whisper_rand::rngs::StdRng;
+use whisper_rand::SeedableRng;
 
 fn sample_entries(n: usize) -> Vec<ViewEntry> {
     (0..n as u64)
@@ -22,8 +25,8 @@ fn sample_entries(n: usize) -> Vec<ViewEntry> {
         .collect()
 }
 
-fn bench_wire(c: &mut Criterion) {
-    let mut group = c.benchmark_group("wire");
+fn bench_wire(c: &mut Bench) {
+    let mut group = c.group("wire");
     let msg = NylonMsg::GossipReq {
         sender: NodeId(1),
         sender_public: true,
@@ -39,8 +42,8 @@ fn bench_wire(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_view_merge(c: &mut Criterion) {
-    let mut group = c.benchmark_group("view");
+fn bench_view_merge(c: &mut Bench) {
+    let mut group = c.group("view");
     for pi in [0usize, 3] {
         group.bench_function(format!("merge_pi{pi}"), |b| {
             b.iter(|| {
@@ -84,8 +87,8 @@ impl Protocol for Flooder {
     }
 }
 
-fn bench_sim_engine(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sim");
+fn bench_sim_engine(c: &mut Bench) {
+    let mut group = c.group("sim");
     group.sample_size(10);
     group.bench_function("10_nodes_1s_storm", |b| {
         b.iter(|| {
@@ -107,10 +110,10 @@ fn bench_sim_engine(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_gossip_cycle(c: &mut Criterion) {
+fn bench_gossip_cycle(c: &mut Bench) {
     use whisper_crypto::rsa::KeyPair;
     use whisper_pss::{NylonConfig, NylonCore, NylonNode};
-    let mut group = c.benchmark_group("pss");
+    let mut group = c.group("pss");
     group.sample_size(10);
     group.bench_function("50_nodes_10_cycles", |b| {
         let mut keyrng = StdRng::seed_from_u64(9);
@@ -134,5 +137,10 @@ fn bench_gossip_cycle(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_wire, bench_view_merge, bench_sim_engine, bench_gossip_cycle);
-criterion_main!(benches);
+fn main() {
+    let mut bench = Bench::from_args();
+    bench_wire(&mut bench);
+    bench_view_merge(&mut bench);
+    bench_sim_engine(&mut bench);
+    bench_gossip_cycle(&mut bench);
+}

@@ -6,8 +6,8 @@
 
 use crate::harness::NetBuilder;
 use crate::report;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use whisper_rand::rngs::StdRng;
+use whisper_rand::{Rng, SeedableRng};
 use whisper_apps::chord::{ChordKey, IdealRing};
 use whisper_apps::tchord::{TChordApp, TChordConfig};
 use whisper_core::{GroupId, WhisperNode};

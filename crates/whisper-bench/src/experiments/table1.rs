@@ -9,8 +9,8 @@
 
 use crate::harness::{NetBuilder, WhisperNet};
 use crate::report;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use whisper_rand::rngs::StdRng;
+use whisper_rand::{Rng, SeedableRng};
 use whisper_net::NodeId;
 
 /// Experiment parameters.

@@ -1,8 +1,8 @@
 //! Shared experiment scaffolding: deterministic population builders and
 //! group formation.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use whisper_rand::rngs::StdRng;
+use whisper_rand::{Rng, SeedableRng};
 use whisper_core::{GroupApp, GroupId, WhisperConfig, WhisperNode};
 use whisper_crypto::rsa::{KeyPair, RsaKeySize};
 use whisper_net::nat::{NatDistribution, NatType};
@@ -20,18 +20,17 @@ pub fn gen_keys_parallel(count: usize, size: RsaKeySize, seed: u64) -> Vec<KeyPa
         .min(count.max(1));
     let mut out: Vec<Option<KeyPair>> = vec![None; count];
     let chunk = count.div_ceil(threads);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (t, slot) in out.chunks_mut(chunk).enumerate() {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (i, s) in slot.iter_mut().enumerate() {
                     let idx = t * chunk + i;
-                    let mut rng = StdRng::seed_from_u64(seed ^ (idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                    let mut rng = StdRng::for_stream(seed, idx as u64);
                     *s = Some(KeyPair::generate(size, &mut rng));
                 }
             });
         }
-    })
-    .expect("key generation threads");
+    });
     out.into_iter().map(|k| k.expect("filled")).collect()
 }
 

@@ -132,8 +132,8 @@ pub struct Invitation {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use whisper_rand::rngs::StdRng;
+    use whisper_rand::SeedableRng;
     use whisper_crypto::rsa::RsaKeySize;
 
     fn group_key() -> KeyPair {

@@ -351,8 +351,8 @@ impl WireDecode for PpssMsg {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use whisper_rand::rngs::StdRng;
+    use whisper_rand::SeedableRng;
     use whisper_crypto::rsa::{KeyPair, RsaKeySize};
 
     fn key() -> PublicKey {

@@ -16,7 +16,7 @@ use election::{ElectionOutcome, LeaderTracker};
 use group::{issue_accreditation, verify_accreditation, GroupId, Invitation, Passport};
 pub use messages::PrivateEntry;
 use messages::{ElectionBallot, Heartbeat, NewKeyAnnouncement, PpssMsg};
-use rand::Rng;
+use whisper_rand::Rng;
 use std::collections::HashMap;
 use whisper_crypto::rsa::{KeyPair, PublicKey};
 use whisper_net::sim::Ctx;
@@ -873,7 +873,7 @@ impl Ppss {
         len: usize,
         ctx: &mut Ctx<'_>,
     ) -> Vec<PrivateEntry> {
-        use rand::seq::SliceRandom;
+        use whisper_rand::seq::SliceRandom;
         let mut candidates: Vec<&PrivateEntry> =
             state.view.iter().filter(|e| e.node != partner).collect();
         candidates.shuffle(ctx.rng());

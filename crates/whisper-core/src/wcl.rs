@@ -17,8 +17,8 @@
 //! (different `A` and/or `B`) and retries, up to Π times — the machinery
 //! measured by Table I.
 
-use rand::seq::SliceRandom;
-use rand::Rng;
+use whisper_rand::seq::SliceRandom;
+use whisper_rand::Rng;
 use std::collections::HashMap;
 use whisper_crypto::onion::{self, PeelResult};
 use whisper_crypto::rsa::PublicKey;

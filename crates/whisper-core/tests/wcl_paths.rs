@@ -3,8 +3,8 @@
 //! destination with explicit gateways. These pin down the §III-A path
 //! rules that the larger integration tests only exercise statistically.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use whisper_rand::rngs::StdRng;
+use whisper_rand::SeedableRng;
 use whisper_core::{DestInfo, WhisperConfig, WhisperNode};
 use whisper_crypto::rsa::KeyPair;
 use whisper_net::nat::NatType;

@@ -4,8 +4,8 @@
 //! membership stay hidden from non-members, dead members are pruned, and
 //! leadership survives leader failure.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use whisper_rand::rngs::StdRng;
+use whisper_rand::SeedableRng;
 use whisper_core::ppss::messages::PpssMsg;
 use whisper_core::{GroupId, WhisperConfig, WhisperNode};
 use whisper_crypto::rsa::KeyPair;

@@ -19,7 +19,7 @@
 //! assert_eq!(cipher.ctr_apply(&nonce, &ct), b"attack at dawn");
 //! ```
 
-use rand::Rng;
+use whisper_rand::Rng;
 
 /// A 128-bit AES key.
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
@@ -260,8 +260,8 @@ fn inv_mix_columns(state: &mut [u8; 16]) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use whisper_rand::rngs::StdRng;
+    use whisper_rand::SeedableRng;
 
     /// FIPS 197 Appendix B test vector.
     #[test]

@@ -57,8 +57,8 @@ impl BigUint {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use whisper_rand::rngs::StdRng;
+    use whisper_rand::{Rng, SeedableRng};
 
     fn random_big(limbs: usize, rng: &mut StdRng) -> BigUint {
         BigUint::from_limbs((0..limbs).map(|_| rng.gen()).collect())

@@ -5,7 +5,7 @@
 //! Primality testing (Miller–Rabin) and random prime generation.
 
 use super::BigUint;
-use rand::Rng;
+use whisper_rand::Rng;
 
 /// Small primes used for cheap trial division before Miller–Rabin.
 const SMALL_PRIMES: [u64; 60] = [
@@ -154,8 +154,8 @@ fn trailing_zeros(n: &BigUint) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use whisper_rand::rngs::StdRng;
+    use whisper_rand::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(7)

@@ -84,9 +84,9 @@ mod tests {
     fn real_operations_are_accounted() {
         use crate::aes::{Aes128, AesKey, CtrNonce};
         use crate::rsa::{KeyPair, RsaKeySize};
-        use rand::SeedableRng;
+        use whisper_rand::SeedableRng;
         reset();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut rng = whisper_rand::rngs::StdRng::seed_from_u64(1);
         let cipher = Aes128::new(&AesKey::random(&mut rng));
         let _ = cipher.ctr_apply(&CtrNonce::random(&mut rng), &[0u8; 4096]);
         let aes_only = snapshot();

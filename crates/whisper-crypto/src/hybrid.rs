@@ -10,7 +10,7 @@
 use crate::aes::{Aes128, AesKey, CtrNonce};
 use crate::rsa::{KeyPair, PublicKey};
 use crate::CryptoError;
-use rand::Rng;
+use whisper_rand::Rng;
 
 /// A hybrid-encrypted blob: RSA-encrypted header carrying the AES session
 /// key, followed by the AES-CTR body.
@@ -112,8 +112,8 @@ pub fn open(keypair: &KeyPair, blob: &SealedBlob) -> Result<Vec<u8>, CryptoError
 mod tests {
     use super::*;
     use crate::rsa::RsaKeySize;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use whisper_rand::rngs::StdRng;
+    use whisper_rand::SeedableRng;
 
     fn setup() -> (KeyPair, StdRng) {
         let mut rng = StdRng::seed_from_u64(99);

@@ -29,10 +29,10 @@
 //! ```
 //! use whisper_crypto::rsa::{KeyPair, RsaKeySize};
 //! use whisper_crypto::hybrid;
-//! use rand::SeedableRng;
+//! use whisper_rand::SeedableRng;
 //!
 //! # fn main() -> Result<(), whisper_crypto::CryptoError> {
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+//! let mut rng = whisper_rand::rngs::StdRng::seed_from_u64(42);
 //! let kp = KeyPair::generate(RsaKeySize::Sim384, &mut rng);
 //! let sealed = hybrid::seal(kp.public(), b"the content stays private", &mut rng)?;
 //! let opened = hybrid::open(&kp, &sealed)?;

@@ -14,10 +14,10 @@
 //! ```
 //! use whisper_crypto::onion::{build_onion, peel, PeelResult};
 //! use whisper_crypto::rsa::{KeyPair, RsaKeySize};
-//! use rand::SeedableRng;
+//! use whisper_rand::SeedableRng;
 //!
 //! # fn main() -> Result<(), whisper_crypto::CryptoError> {
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+//! let mut rng = whisper_rand::rngs::StdRng::seed_from_u64(5);
 //! let mix = KeyPair::generate(RsaKeySize::Sim384, &mut rng);
 //! let dest = KeyPair::generate(RsaKeySize::Sim384, &mut rng);
 //! let path = [
@@ -42,7 +42,7 @@ use crate::aes::{Aes128, AesKey, CtrNonce};
 use crate::hybrid::{self, SealedBlob};
 use crate::rsa::{KeyPair, PublicKey};
 use crate::CryptoError;
-use rand::Rng;
+use whisper_rand::Rng;
 
 const TAG_DEST: u8 = 0;
 const TAG_RELAY: u8 = 1;
@@ -197,8 +197,8 @@ pub fn peel_with_body(
 mod tests {
     use super::*;
     use crate::rsa::RsaKeySize;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use whisper_rand::rngs::StdRng;
+    use whisper_rand::SeedableRng;
 
     fn keys(n: usize, rng: &mut StdRng) -> Vec<KeyPair> {
         (0..n).map(|_| KeyPair::generate(RsaKeySize::Sim384, rng)).collect()

@@ -15,10 +15,10 @@
 //!
 //! ```
 //! use whisper_crypto::rsa::{KeyPair, RsaKeySize};
-//! use rand::SeedableRng;
+//! use whisper_rand::SeedableRng;
 //!
 //! # fn main() -> Result<(), whisper_crypto::CryptoError> {
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let mut rng = whisper_rand::rngs::StdRng::seed_from_u64(1);
 //! let kp = KeyPair::generate(RsaKeySize::Sim384, &mut rng);
 //! let ct = kp.public().encrypt(b"hi", &mut rng)?;
 //! assert_eq!(kp.decrypt(&ct)?, b"hi");
@@ -29,7 +29,7 @@
 use crate::bignum::{gen_prime, BigUint};
 use crate::sha256::Sha256;
 use crate::CryptoError;
-use rand::Rng;
+use whisper_rand::Rng;
 
 /// Supported RSA modulus sizes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -314,8 +314,8 @@ impl PublicKey {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use whisper_rand::rngs::StdRng;
+    use whisper_rand::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(1234)

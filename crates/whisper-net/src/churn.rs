@@ -16,7 +16,7 @@
 use crate::id::NodeId;
 use crate::sim::Sim;
 use crate::time::{SimDuration, SimTime};
-use rand::Rng;
+use whisper_rand::Rng;
 
 /// One scripted churn phase.
 #[derive(Clone, Debug, PartialEq)]

@@ -10,7 +10,7 @@
 //! (log-normal) delay distribution plus message loss.
 
 use crate::time::SimDuration;
-use rand::Rng;
+use whisper_rand::Rng;
 
 /// A sampling distribution over one-way message delays.
 #[derive(Clone, Debug)]
@@ -151,8 +151,8 @@ impl NetProfile {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use whisper_rand::rngs::StdRng;
+    use whisper_rand::SeedableRng;
 
     #[test]
     fn constant_is_constant() {

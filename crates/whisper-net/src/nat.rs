@@ -14,7 +14,7 @@
 
 use crate::id::{Endpoint, NodeId};
 use crate::time::{SimDuration, SimTime};
-use rand::Rng;
+use whisper_rand::Rng;
 
 /// The NAT behaviour of a simulated host.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -407,8 +407,8 @@ mod tests {
 
     #[test]
     fn distribution_respects_public_ratio() {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        use whisper_rand::SeedableRng;
+        let mut rng = whisper_rand::rngs::StdRng::seed_from_u64(1);
         let dist = NatDistribution::paper_default();
         let n = 10_000;
         let mut public = 0;

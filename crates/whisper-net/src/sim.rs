@@ -16,8 +16,8 @@ use crate::latency::NetProfile;
 use crate::metrics::Metrics;
 use crate::nat::{NatTable, NatType};
 use crate::time::{SimDuration, SimTime};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use whisper_rand::rngs::StdRng;
+use whisper_rand::SeedableRng;
 use std::any::Any;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, BTreeMap};

@@ -1,17 +1,24 @@
 //! Property-based tests for the network substrate: wire-codec round
 //! trips and fuzzed decoding, NAT filter laws, CDF invariants.
+//!
+//! Written against `whisper_rand::check`: seeded case generation with
+//! shrink-on-failure reporting.
 
-use proptest::prelude::*;
 use whisper_net::nat::{NatDevice, NatType};
 use whisper_net::stats::Cdf;
 use whisper_net::wire::{WireDecode, WireEncode, WireReader, WireWriter};
 use whisper_net::{Endpoint, NodeId, SimDuration, SimTime};
+use whisper_rand::check::check;
+use whisper_rand::Rng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn primitives_round_trip(a in any::<u8>(), b in any::<u16>(), c in any::<u32>(), d in any::<u64>(), bytes in proptest::collection::vec(any::<u8>(), 0..100)) {
+#[test]
+fn primitives_round_trip() {
+    check(128, "primitives_round_trip", |g| {
+        let a: u8 = g.gen();
+        let b: u16 = g.gen();
+        let c: u32 = g.gen();
+        let d: u64 = g.gen();
+        let bytes = g.bytes(99);
         let mut w = WireWriter::new();
         w.put_u8(a);
         w.put_u16(b);
@@ -20,25 +27,31 @@ proptest! {
         w.put_bytes(&bytes);
         let buf = w.into_bytes();
         let mut r = WireReader::new(&buf);
-        prop_assert_eq!(r.take_u8().unwrap(), a);
-        prop_assert_eq!(r.take_u16().unwrap(), b);
-        prop_assert_eq!(r.take_u32().unwrap(), c);
-        prop_assert_eq!(r.take_u64().unwrap(), d);
-        prop_assert_eq!(r.take_bytes().unwrap(), &bytes[..]);
-        prop_assert!(r.finish().is_ok());
-    }
+        assert_eq!(r.take_u8().unwrap(), a);
+        assert_eq!(r.take_u16().unwrap(), b);
+        assert_eq!(r.take_u32().unwrap(), c);
+        assert_eq!(r.take_u64().unwrap(), d);
+        assert_eq!(r.take_bytes().unwrap(), &bytes[..]);
+        assert!(r.finish().is_ok());
+    });
+}
 
-    #[test]
-    fn sequences_round_trip(items in proptest::collection::vec(any::<u64>(), 0..50)) {
+#[test]
+fn sequences_round_trip() {
+    check(128, "sequences_round_trip", |g| {
+        let items = g.vec(49, |g| g.gen::<u64>());
         let mut w = WireWriter::new();
         w.put_seq(&items);
         let buf = w.into_bytes();
         let mut r = WireReader::new(&buf);
-        prop_assert_eq!(r.take_seq::<u64>().unwrap(), items);
-    }
+        assert_eq!(r.take_seq::<u64>().unwrap(), items);
+    });
+}
 
-    #[test]
-    fn decoding_garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+#[test]
+fn decoding_garbage_never_panics() {
+    check(128, "decoding_garbage_never_panics", |g| {
+        let bytes = g.bytes(199);
         // All decoders must be total: Err on junk, never panic.
         let mut r = WireReader::new(&bytes);
         let _ = r.take_seq::<u64>();
@@ -46,70 +59,84 @@ proptest! {
         let _ = NodeId::from_wire(&bytes);
         let _ = bool::from_wire(&bytes);
         let _ = Vec::<u8>::from_wire(&bytes);
-    }
+    });
+}
 
-    #[test]
-    fn endpoint_round_trip(node in any::<u64>(), port in any::<u16>()) {
-        let ep = Endpoint { node: NodeId(node), port };
-        prop_assert_eq!(Endpoint::from_wire(&ep.to_wire()).unwrap(), ep);
-    }
+#[test]
+fn endpoint_round_trip() {
+    check(128, "endpoint_round_trip", |g| {
+        let ep = Endpoint { node: NodeId(g.gen()), port: g.gen() };
+        assert_eq!(Endpoint::from_wire(&ep.to_wire()).unwrap(), ep);
+    });
+}
 
-    /// Reply-to-sender always works while the association lives, for
-    /// every NAT type: if a device lets a packet OUT to `dst`, a packet
-    /// back IN from exactly `dst` to the allocated port passes.
-    #[test]
-    fn reply_to_sender_always_traverses(
-        nat_idx in 0usize..4,
-        dst_node in any::<u64>(),
-        dst_port in any::<u16>(),
-        delay_s in 0u64..7000,
-    ) {
-        let nat = NatType::NATTED[nat_idx];
+/// Reply-to-sender always works while the association lives, for
+/// every NAT type: if a device lets a packet OUT to `dst`, a packet
+/// back IN from exactly `dst` to the allocated port passes.
+#[test]
+fn reply_to_sender_always_traverses() {
+    check(128, "reply_to_sender_always_traverses", |g| {
+        let nat = NatType::NATTED[g.gen_range(0..4usize)];
+        let dst = Endpoint { node: NodeId(g.gen()), port: g.gen() };
+        let delay_s = g.gen_range(0..7000u64);
         let mut dev = NatDevice::new(nat);
-        let dst = Endpoint { node: NodeId(dst_node), port: dst_port };
         let lease = SimDuration::from_secs(7200);
         let t0 = SimTime::ZERO;
         let port = dev.outbound(dst, t0, lease);
         let later = t0 + SimDuration::from_secs(delay_s);
-        prop_assert!(dev.inbound(port, dst, later), "{nat:?} blocked a reply");
-    }
+        assert!(dev.inbound(port, dst, later), "{nat:?} blocked a reply");
+    });
+}
 
-    /// No NAT type accepts unsolicited traffic to a never-allocated port.
-    #[test]
-    fn unsolicited_port_always_blocked(nat_idx in 0usize..4, src in any::<u64>(), port in 1u16..u16::MAX) {
-        let nat = NatType::NATTED[nat_idx];
+/// No NAT type accepts unsolicited traffic to a never-allocated port.
+#[test]
+fn unsolicited_port_always_blocked() {
+    check(128, "unsolicited_port_always_blocked", |g| {
+        let nat = NatType::NATTED[g.gen_range(0..4usize)];
+        let src: u64 = g.gen();
+        let port = g.gen_range(1..u16::MAX);
         let mut dev = NatDevice::new(nat);
         let source = Endpoint { node: NodeId(src), port: 1 };
         let accepted = dev.inbound(port, source, SimTime::ZERO);
-        prop_assert!(!accepted);
-    }
+        assert!(!accepted);
+    });
+}
 
-    #[test]
-    fn cdf_percentiles_are_monotone_and_bounded(samples in proptest::collection::vec(-1e9f64..1e9, 1..200)) {
+#[test]
+fn cdf_percentiles_are_monotone_and_bounded() {
+    check(128, "cdf_percentiles_are_monotone_and_bounded", |g| {
+        let mut samples = g.vec(198, |g| g.gen_range(-1e9..1e9f64));
+        samples.push(g.gen_range(-1e9..1e9f64)); // at least one sample
         let mut c = Cdf::from_samples(samples.iter().copied());
         let lo = c.min();
         let hi = c.max();
         let mut last = lo;
         for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
             let v = c.percentile(p);
-            prop_assert!(v >= last && v >= lo && v <= hi, "p{p}: {v}");
+            assert!(v >= last && v >= lo && v <= hi, "p{p}: {v}");
             last = v;
         }
         let mean = c.mean();
-        prop_assert!(mean >= lo && mean <= hi);
-    }
+        assert!(mean >= lo && mean <= hi);
+    });
+}
 
-    #[test]
-    fn cdf_fraction_below_is_monotone(samples in proptest::collection::vec(0f64..1000.0, 1..100), probes in proptest::collection::vec(0f64..1000.0, 2..10)) {
+#[test]
+fn cdf_fraction_below_is_monotone() {
+    check(128, "cdf_fraction_below_is_monotone", |g| {
+        let mut samples = g.vec(99, |g| g.gen_range(0.0..1000.0f64));
+        samples.push(g.gen_range(0.0..1000.0f64)); // 1..=100 samples
+        let mut probes = g.vec(8, |g| g.gen_range(0.0..1000.0f64));
+        probes.push(g.gen_range(0.0..1000.0f64));
+        probes.push(g.gen_range(0.0..1000.0f64)); // 2..=10 probes
         let mut c = Cdf::from_samples(samples);
-        let mut probes = probes;
         probes.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let mut last = 0.0;
         for p in probes {
             let f = c.fraction_below(p);
-            prop_assert!((0.0..=1.0).contains(&f));
-            prop_assert!(f >= last);
+            assert!((0.0..=1.0).contains(&f));
+            assert!(f >= last);
             last = f;
         }
-    }
+    });
 }

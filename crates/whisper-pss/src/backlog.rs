@@ -185,9 +185,9 @@ mod tests {
 
     #[test]
     fn set_key_updates_entry() {
-        use rand::SeedableRng;
+        use whisper_rand::SeedableRng;
         use whisper_crypto::rsa::{KeyPair, RsaKeySize};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut rng = whisper_rand::rngs::StdRng::seed_from_u64(1);
         let kp = KeyPair::generate(RsaKeySize::Sim384, &mut rng);
         let mut cb = ConnectionBacklog::new(4);
         cb.insert(entry(1, false), 0);

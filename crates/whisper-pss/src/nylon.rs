@@ -196,7 +196,7 @@ impl NylonCore {
         }
         // Desynchronize cycles across nodes.
         let offset = SimDuration::from_micros(
-            rand::Rng::gen_range(ctx.rng(), 0..self.cfg.cycle.as_micros().max(1)),
+            whisper_rand::Rng::gen_range(ctx.rng(), 0..self.cfg.cycle.as_micros().max(1)),
         );
         ctx.set_timer(offset, TIMER_GOSSIP_CYCLE);
     }

@@ -1,7 +1,7 @@
 //! Partial views and the biased truncation policy of paper §III-B-1.
 
-use rand::seq::SliceRandom;
-use rand::Rng;
+use whisper_rand::seq::SliceRandom;
+use whisper_rand::Rng;
 use whisper_net::wire::{WireDecode, WireEncode, WireError, WireReader, WireWriter};
 use whisper_net::NodeId;
 
@@ -253,8 +253,8 @@ impl View {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use whisper_rand::rngs::StdRng;
+    use whisper_rand::SeedableRng;
 
     fn e(node: u64, age: u16, public: bool) -> ViewEntry {
         ViewEntry { node: NodeId(node), age, public, route: vec![] }

@@ -2,8 +2,8 @@
 //! convergence under NATs, the P-node bias, CB maintenance and the key
 //! sampling service.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use whisper_rand::rngs::StdRng;
+use whisper_rand::SeedableRng;
 use whisper_crypto::rsa::KeyPair;
 use whisper_net::nat::{NatDistribution, NatType};
 use whisper_net::sim::{Sim, SimConfig};

@@ -4,8 +4,8 @@
 //! (`can_hole_punch`) says it can — and must still deliver the payload via
 //! the relay fallback when it cannot.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use whisper_rand::rngs::StdRng;
+use whisper_rand::SeedableRng;
 use whisper_crypto::rsa::KeyPair;
 use whisper_net::nat::{can_hole_punch, NatType};
 use whisper_net::sim::{Sim, SimConfig};

@@ -1,43 +1,41 @@
 //! Property-based tests for the PSS layer: view-merge invariants under
 //! arbitrary inputs, backlog invariants, and message-decoding totality.
+//!
+//! Written against `whisper_rand::check`: seeded case generation with
+//! shrink-on-failure reporting.
 
-use proptest::prelude::*;
 use whisper_net::wire::WireDecode;
 use whisper_net::NodeId;
 use whisper_pss::backlog::{CbEntry, ConnectionBacklog};
 use whisper_pss::messages::NylonMsg;
 use whisper_pss::view::{View, ViewEntry};
+use whisper_rand::check::{check, Gen};
+use whisper_rand::Rng;
 
-fn entry_strategy() -> impl Strategy<Value = ViewEntry> {
+fn gen_entry(g: &mut Gen) -> ViewEntry {
     // `public` is a fixed attribute of a node in reality, so derive it
     // from the node id to keep generated populations consistent.
-    (0u64..40, 0u16..30, proptest::collection::vec(0u64..40, 0..3)).prop_map(
-        |(node, age, route)| ViewEntry {
-            node: NodeId(node),
-            age,
-            public: node % 3 == 0,
-            route: route.into_iter().map(NodeId).collect(),
-        },
-    )
+    let node = g.gen_range(0..40u64);
+    ViewEntry {
+        node: NodeId(node),
+        age: g.gen_range(0..30u16),
+        public: node % 3 == 0,
+        route: g.vec(2, |g| NodeId(g.gen_range(0..40u64))),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Merge invariants hold for arbitrary inputs: bounded size, no
-    /// duplicates, no self-entry, and at least min(Π, available publics)
-    /// P-nodes kept.
-    #[test]
-    fn merge_invariants(
-        initial in proptest::collection::vec(entry_strategy(), 0..15),
-        received in proptest::collection::vec(entry_strategy(), 0..15),
-        cap in 1usize..12,
-        pi in 0usize..5,
-        discard in any::<bool>(),
-        me in 0u64..40,
-    ) {
-        prop_assume!(pi <= cap);
-        let me = NodeId(me);
+/// Merge invariants hold for arbitrary inputs: bounded size, no
+/// duplicates, no self-entry, and at least min(Π, available publics)
+/// P-nodes kept.
+#[test]
+fn merge_invariants() {
+    check(128, "merge_invariants", |g| {
+        let initial = g.vec(14, gen_entry);
+        let received = g.vec(14, gen_entry);
+        let cap = g.gen_range(1..12usize);
+        let pi = g.gen_range(0..5usize).min(cap);
+        let discard: bool = g.gen();
+        let me = NodeId(g.gen_range(0..40u64));
         let mut view = View::new();
         for e in initial {
             if e.node != me {
@@ -56,32 +54,33 @@ proptest! {
 
         view.merge(received, me, cap, pi, discard);
 
-        prop_assert!(view.len() <= cap, "size bound");
-        prop_assert_eq!(view.len(), view.len().min(avail_total));
-        prop_assert!(!view.contains(me), "no self-entry");
+        assert!(view.len() <= cap, "size bound");
+        assert_eq!(view.len(), view.len().min(avail_total));
+        assert!(!view.contains(me), "no self-entry");
         let mut seen = std::collections::HashSet::new();
         for e in view.entries() {
-            prop_assert!(seen.insert(e.node), "duplicate {:?}", e.node);
+            assert!(seen.insert(e.node), "duplicate {:?}", e.node);
         }
         if view.len() == cap {
             // Π is satisfied whenever enough publics existed.
             let expect = pi.min(avail_publics);
-            prop_assert!(
+            assert!(
                 view.p_count() >= expect.min(cap),
                 "Π violated: {} < {}",
                 view.p_count(),
                 expect
             );
         }
-    }
+    });
+}
 
-    /// Merge keeps, for every retained node, the freshest copy seen.
-    #[test]
-    fn merge_keeps_freshest_copy(
-        node in 0u64..5,
-        age_a in 0u16..30,
-        age_b in 0u16..30,
-    ) {
+/// Merge keeps, for every retained node, the freshest copy seen.
+#[test]
+fn merge_keeps_freshest_copy() {
+    check(128, "merge_keeps_freshest_copy", |g| {
+        let node = g.gen_range(0..5u64);
+        let age_a = g.gen_range(0..30u16);
+        let age_b = g.gen_range(0..30u16);
         let mut view = View::new();
         view.insert(ViewEntry { node: NodeId(node), age: age_a, public: false, route: vec![] });
         view.merge(
@@ -91,19 +90,20 @@ proptest! {
             0,
             false,
         );
-        prop_assert_eq!(view.get(NodeId(node)).unwrap().age, age_a.min(age_b));
-    }
+        assert_eq!(view.get(NodeId(node)).unwrap().age, age_a.min(age_b));
+    });
+}
 
-    /// The backlog never exceeds capacity, never duplicates, and never
-    /// drops below Π publics as long as Π publics were ever inserted and
-    /// the capacity allows.
-    #[test]
-    fn backlog_invariants(
-        ops in proptest::collection::vec((0u64..30, any::<bool>()), 1..60),
-        cap in 1usize..12,
-        pi in 0usize..4,
-    ) {
-        prop_assume!(pi <= cap);
+/// The backlog never exceeds capacity, never duplicates, and never
+/// drops below Π publics as long as Π publics were ever inserted and
+/// the capacity allows.
+#[test]
+fn backlog_invariants() {
+    check(128, "backlog_invariants", |g| {
+        let mut ops = g.vec(58, |g| (g.gen_range(0..30u64), g.gen::<bool>()));
+        ops.push((g.gen_range(0..30u64), g.gen())); // at least one op
+        let cap = g.gen_range(1..12usize);
+        let pi = g.gen_range(0..4usize).min(cap);
         let mut cb = ConnectionBacklog::new(cap);
         let mut max_p_inserted = 0usize;
         for (node, public) in ops {
@@ -111,27 +111,33 @@ proptest! {
             let distinct_p: std::collections::HashSet<_> =
                 cb.iter().filter(|e| e.public).map(|e| e.node).collect();
             max_p_inserted = max_p_inserted.max(distinct_p.len());
-            prop_assert!(cb.len() <= cap);
+            assert!(cb.len() <= cap);
             let mut seen = std::collections::HashSet::new();
             for e in cb.iter() {
-                prop_assert!(seen.insert(e.node));
+                assert!(seen.insert(e.node));
             }
         }
         // Protection: once the CB held k ≤ Π publics, evictions never
         // push it below min(k, Π) while the rest of the queue has
         // N-nodes to evict instead.
-        prop_assert!(cb.p_count() <= cap);
-    }
+        assert!(cb.p_count() <= cap);
+    });
+}
 
-    /// Message decoding is total on arbitrary bytes.
-    #[test]
-    fn nylon_msg_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+/// Message decoding is total on arbitrary bytes.
+#[test]
+fn nylon_msg_decode_never_panics() {
+    check(128, "nylon_msg_decode_never_panics", |g| {
+        let bytes = g.bytes(299);
         let _ = NylonMsg::from_wire(&bytes);
-    }
+    });
+}
 
-    /// Entry decoding is total on arbitrary bytes.
-    #[test]
-    fn view_entry_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..100)) {
+/// Entry decoding is total on arbitrary bytes.
+#[test]
+fn view_entry_decode_never_panics() {
+    check(128, "view_entry_decode_never_panics", |g| {
+        let bytes = g.bytes(99);
         let _ = ViewEntry::from_wire(&bytes);
-    }
+    });
 }

@@ -1,0 +1,241 @@
+//! A seeded property-test helper: random case generation with
+//! shrink-on-failure, replacing the workspace's former `proptest`
+//! dependency.
+//!
+//! ## Model
+//!
+//! A property is a closure over a [`Gen`]; it draws whatever inputs it
+//! needs and asserts with the ordinary `assert!` family. [`check`] runs it
+//! `cases` times, each case on an independent, deterministic random stream.
+//!
+//! On failure the harness **shrinks**: every value a [`Gen`] hands out is
+//! derived from an underlying sequence of `u64` draws (the *tape*), so the
+//! harness re-runs the property on simpler tapes (values zeroed, halved,
+//! decremented; tape truncated) and reports the simplest tape that still
+//! fails. Because generators map smaller tape words to smaller values
+//! (shorter vectors, smaller ints), simpler tapes mean simpler test
+//! cases — the same idea as Hypothesis-style "internal" shrinking, with no
+//! per-type shrinker code.
+//!
+//! ## Example
+//!
+//! ```
+//! use whisper_rand::check::check;
+//! use whisper_rand::Rng;
+//!
+//! check(64, "addition_commutes", |g| {
+//!     let a: u32 = g.gen_range(0..1000);
+//!     let b: u32 = g.gen_range(0..1000);
+//!     assert_eq!(a + b, b + a);
+//! });
+//! ```
+//!
+//! Reproducing a failure: the report prints the base seed and case number;
+//! set `WHISPER_CHECK_SEED` to the printed seed to pin the whole run.
+
+use crate::{Rng, RngCore, StdRng};
+use std::panic::{self, AssertUnwindSafe};
+
+/// Default base seed ("WHSPR" in hex-speak); override with the
+/// `WHISPER_CHECK_SEED` environment variable.
+const DEFAULT_SEED: u64 = 0x5748_5350_52;
+
+/// Cap on property re-executions spent shrinking one failure.
+const SHRINK_BUDGET: usize = 2_000;
+
+/// The source of randomness handed to a property.
+///
+/// In normal runs it records every `u64` drawn from a [`StdRng`]; during
+/// shrinking it replays a mutated tape instead (reading past the end of
+/// the tape yields zeros, which generators map to minimal values). All
+/// [`Rng`] methods are available on it, plus conveniences for the shapes
+/// the test suites use most.
+pub struct Gen {
+    tape: Vec<u64>,
+    pos: usize,
+    live: Option<StdRng>,
+}
+
+impl RngCore for Gen {
+    fn next_u64(&mut self) -> u64 {
+        let v = match &mut self.live {
+            Some(rng) => {
+                let v = rng.next_u64();
+                self.tape.push(v);
+                v
+            }
+            None => self.tape.get(self.pos).copied().unwrap_or(0),
+        };
+        self.pos += 1;
+        v
+    }
+}
+
+impl Gen {
+    fn recording(rng: StdRng) -> Gen {
+        Gen { tape: Vec::new(), pos: 0, live: Some(rng) }
+    }
+
+    fn replaying(tape: Vec<u64>) -> Gen {
+        Gen { tape, pos: 0, live: None }
+    }
+
+    /// A vector with length drawn from `0..=max_len` and elements drawn by
+    /// `f`.
+    pub fn vec<T>(&mut self, max_len: usize, mut f: impl FnMut(&mut Gen) -> T) -> Vec<T> {
+        let len = self.gen_range(0..=max_len);
+        (0..len).map(|_| f(self)).collect()
+    }
+
+    /// A byte vector with length drawn from `0..=max_len`.
+    pub fn bytes(&mut self, max_len: usize) -> Vec<u8> {
+        self.vec(max_len, |g| g.gen())
+    }
+}
+
+/// Runs `property` against `cases` independently-seeded random cases,
+/// shrinking and reporting the simplest failure found.
+///
+/// `name` labels the failure report (conventionally the test function's
+/// name). Panics — i.e. fails the enclosing `#[test]` — iff the property
+/// panics for some case, after shrinking.
+pub fn check(cases: u32, name: &str, property: impl Fn(&mut Gen)) {
+    let seed = std::env::var("WHISPER_CHECK_SEED")
+        .ok()
+        .and_then(|s| parse_seed(&s))
+        .unwrap_or(DEFAULT_SEED);
+
+    for case in 0..cases {
+        let mut g = Gen::recording(StdRng::for_stream(seed, case as u64));
+        if run_quietly(&property, &mut g).is_ok() {
+            continue;
+        }
+
+        // Failure: shrink the recorded tape, then re-run the simplest
+        // failing tape *outside* catch_unwind so the original assertion
+        // message and backtrace surface through the test harness.
+        let tape = shrink(std::mem::take(&mut g.tape), &property);
+        eprintln!(
+            "whisper-rand check '{name}': falsified (seed={seed:#x}, case={case}/{cases}); \
+             shrunk to {} draws: {:?}\n\
+             (re-run with WHISPER_CHECK_SEED={seed:#x} to reproduce)",
+            tape.len(),
+            tape
+        );
+        property(&mut Gen::replaying(tape));
+        unreachable!("shrunk tape no longer fails; original case {case} did");
+    }
+}
+
+fn parse_seed(s: &str) -> Option<u64> {
+    let s = s.trim();
+    match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => s.parse().ok(),
+    }
+}
+
+/// Runs the property with the default panic hook suppressed, so shrink
+/// candidates don't spam stderr with expected panics.
+fn run_quietly(
+    property: &impl Fn(&mut Gen),
+    g: &mut Gen,
+) -> Result<(), Box<dyn std::any::Any + Send>> {
+    let prev = panic::take_hook();
+    panic::set_hook(Box::new(|_| {}));
+    let result = panic::catch_unwind(AssertUnwindSafe(|| property(g)));
+    panic::set_hook(prev);
+    result.map(|_| ())
+}
+
+/// Greedily simplifies a failing tape: truncation first (shorter inputs),
+/// then per-word zero / halve / decrement passes, repeated to fixpoint or
+/// budget exhaustion. Returns a tape that still fails the property.
+fn shrink(mut tape: Vec<u64>, property: &impl Fn(&mut Gen)) -> Vec<u64> {
+    let fails = |candidate: &[u64]| -> bool {
+        run_quietly(property, &mut Gen::replaying(candidate.to_vec())).is_err()
+    };
+
+    let mut budget = SHRINK_BUDGET;
+    let mut progress = true;
+    while progress && budget > 0 {
+        progress = false;
+
+        // Pass 1: drop the tail (replay pads with zeros).
+        while !tape.is_empty() && budget > 0 {
+            let shorter = &tape[..tape.len() / 2];
+            budget -= 1;
+            if fails(shorter) {
+                tape.truncate(tape.len() / 2);
+                progress = true;
+            } else {
+                break;
+            }
+        }
+
+        // Pass 2: simplify individual words.
+        for i in 0..tape.len() {
+            if budget == 0 {
+                break;
+            }
+            let original = tape[i];
+            for candidate in [0, original >> 1, original.saturating_sub(1)] {
+                if candidate == original || budget == 0 {
+                    continue;
+                }
+                tape[i] = candidate;
+                budget -= 1;
+                if fails(&tape) {
+                    progress = true;
+                    break; // keep the simplest working candidate
+                }
+                tape[i] = original;
+            }
+        }
+    }
+
+    // Trim trailing zeros: replay treats them identically to absence.
+    while tape.last() == Some(&0) {
+        tape.pop();
+    }
+    tape
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_passes() {
+        check(32, "tautology", |g| {
+            let v = g.bytes(16);
+            assert!(v.len() <= 16);
+        });
+    }
+
+    #[test]
+    fn failing_property_fails_and_shrinks() {
+        let result = panic::catch_unwind(|| {
+            check(64, "find_big", |g| {
+                let n: u64 = g.gen_range(0..1000);
+                assert!(n < 500, "found {n}");
+            })
+        });
+        assert!(result.is_err(), "property with counterexamples must fail");
+    }
+
+    #[test]
+    fn replay_of_empty_tape_yields_minimal_values() {
+        let mut g = Gen::replaying(vec![]);
+        assert_eq!(g.gen::<u64>(), 0);
+        assert_eq!(g.gen_range(5..10u32), 5);
+        assert!(g.bytes(8).is_empty());
+    }
+
+    #[test]
+    fn gen_is_deterministic_per_case() {
+        let mut a = Gen::recording(StdRng::for_stream(1, 0));
+        let mut b = Gen::recording(StdRng::for_stream(1, 0));
+        assert_eq!(a.bytes(32), b.bytes(32));
+    }
+}

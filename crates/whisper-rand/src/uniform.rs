@@ -1,0 +1,295 @@
+//! Distributions: the `Standard` distribution and uniform ranges.
+
+use crate::RngCore;
+use std::ops::{Range, RangeInclusive};
+
+/// Types samplable "as themselves" via [`Rng::gen`](crate::Rng::gen):
+/// uniform over the whole value domain for integers, uniform in `[0, 1)`
+/// for floats, a fair coin for `bool`.
+pub trait Standard: Sized {
+    /// Draws one value from the standard distribution of `Self`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! standard_int {
+    ($($ty:ty),*) => {$(
+        impl Standard for $ty {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for u128 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Standard for i128 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        u128::sample(rng) as i128
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // Use the high bit: xoshiro's upper bits have the strongest
+        // equidistribution guarantees.
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng)
+    }
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 24 explicit mantissa bits of randomness, uniform in [0, 1).
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl<const N: usize> Standard for [u8; N] {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        let mut out = [0u8; N];
+        rng.fill_bytes(&mut out);
+        out
+    }
+}
+
+/// Uniform `f64` in `[0, 1)` with 53 random mantissa bits — the maximum a
+/// `f64` can represent uniformly at this scale.
+#[inline]
+pub(crate) fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Unbiased draw from `[0, range)` by rejection sampling: accept `x` from
+/// the largest prefix `[0, zone]` whose size is a multiple of `range`,
+/// return `x % range`.
+///
+/// The accept zone deliberately starts at zero — `x = 0` always maps to
+/// the minimal output — so that the all-zero replay tapes produced by
+/// [`check`](crate::check)'s shrinker yield minimal values instead of
+/// spinning in the reject loop.
+#[inline]
+pub(crate) fn uniform_u64<R: RngCore + ?Sized>(rng: &mut R, range: u64) -> u64 {
+    debug_assert!(range > 0);
+    // 2⁶⁴ mod range values at the top would bias the low residues; reject
+    // them. zone = (largest multiple of range ≤ 2⁶⁴) − 1.
+    let zone = u64::MAX - range.wrapping_neg() % range;
+    loop {
+        let x = rng.next_u64();
+        if x <= zone {
+            return x % range;
+        }
+    }
+}
+
+/// Unbiased draw from `[0, range)` for 128-bit widths; same zone-rejection
+/// scheme as [`uniform_u64`].
+#[inline]
+fn uniform_u128<R: RngCore + ?Sized>(rng: &mut R, range: u128) -> u128 {
+    debug_assert!(range > 0);
+    let zone = u128::MAX - range.wrapping_neg() % range;
+    loop {
+        let x = u128::sample(rng);
+        if x <= zone {
+            return x % range;
+        }
+    }
+}
+
+/// Element types that [`Rng::gen_range`](crate::Rng::gen_range) can sample
+/// uniformly from a range of.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Uniform draw from `[lo, hi)`. Panics if `lo >= hi`.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    /// Uniform draw from `[lo, hi]`. Panics if `lo > hi`.
+    fn sample_closed<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($ty:ty => $via:ty),*) => {$(
+        impl SampleUniform for $ty {
+            #[inline]
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range: empty range {lo}..{hi}");
+                let width = (hi as $via).wrapping_sub(lo as $via);
+                lo.wrapping_add(draw_uniform(rng, width) as $ty)
+            }
+            #[inline]
+            fn sample_closed<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "gen_range: empty range {lo}..={hi}");
+                let width = (hi as $via).wrapping_sub(lo as $via);
+                match width.checked_add(1) {
+                    Some(n) => lo.wrapping_add(draw_uniform(rng, n) as $ty),
+                    // Full-domain range: every bit pattern is valid.
+                    None => Standard::sample(rng),
+                }
+            }
+        }
+    )*};
+}
+
+/// Dispatch helper so the macro can widen small ints to `u64` and keep
+/// `u128` on its own path.
+trait DrawUniform: Copy {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R, range: Self) -> Self;
+}
+impl DrawUniform for u64 {
+    #[inline]
+    fn draw<R: RngCore + ?Sized>(rng: &mut R, range: u64) -> u64 {
+        uniform_u64(rng, range)
+    }
+}
+impl DrawUniform for u128 {
+    #[inline]
+    fn draw<R: RngCore + ?Sized>(rng: &mut R, range: u128) -> u128 {
+        uniform_u128(rng, range)
+    }
+}
+#[inline]
+fn draw_uniform<R: RngCore + ?Sized, W: DrawUniform>(rng: &mut R, range: W) -> W {
+    W::draw(rng, range)
+}
+
+uniform_int!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => u64, i16 => u64, i32 => u64, i64 => u64, isize => u64,
+    u128 => u128, i128 => u128
+);
+
+macro_rules! uniform_float {
+    ($($ty:ty),*) => {$(
+        impl SampleUniform for $ty {
+            #[inline]
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range: empty range {lo}..{hi}");
+                loop {
+                    let v = lo + (hi - lo) * (unit_f64(rng) as $ty);
+                    // Rounding in the scale step can land exactly on `hi`;
+                    // redraw to honor the half-open contract.
+                    if v < hi {
+                        return v;
+                    }
+                }
+            }
+            #[inline]
+            fn sample_closed<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "gen_range: empty range {lo}..={hi}");
+                let unit = (rng.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) - 1) as f64);
+                let v = lo + (hi - lo) * (unit as $ty);
+                if v > hi { hi } else { v }
+            }
+        }
+    )*};
+}
+uniform_float!(f32, f64);
+
+/// Range expressions accepted by [`Rng::gen_range`](crate::Rng::gen_range):
+/// `lo..hi` and `lo..=hi`.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from `self`.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_closed(rng, *self.start(), *self.end())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Rng, RngCore, SeedableRng, StdRng};
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10..20u8);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(5..=7u64);
+            assert!((5..=7).contains(&w));
+            let f = rng.gen_range(0.25..0.75f64);
+            assert!((0.25..0.75).contains(&f));
+            let g = rng.gen_range(-3..=3i32);
+            assert!((-3..=3).contains(&g));
+        }
+    }
+
+    #[test]
+    fn full_domain_inclusive_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        // Must not overflow or hang.
+        let _: u64 = rng.gen_range(0..=u64::MAX);
+        let _: u8 = rng.gen_range(0..=u8::MAX);
+    }
+
+    #[test]
+    fn unit_interval() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn small_range_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut counts = [0u32; 4];
+        for _ in 0..40_000 {
+            counts[rng.gen_range(0..4usize)] += 1;
+        }
+        for c in counts {
+            assert!((9_000..11_000).contains(&c), "skewed: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&heads), "p=0.3 gave {heads}/10000");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let _ = rng.gen_range(5..5u32);
+    }
+
+    #[test]
+    fn fill_bytes_covers_tail() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert_ne!(buf, [0u8; 13]);
+    }
+}

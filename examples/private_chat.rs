@@ -7,8 +7,8 @@
 //! cargo run --release --example private_chat
 //! ```
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use whisper_rand::rngs::StdRng;
+use whisper_rand::SeedableRng;
 use whisper::apps::broadcast::{BroadcastApp, BroadcastConfig};
 use whisper::core::{GroupId, WhisperConfig, WhisperNode};
 use whisper::crypto::rsa::KeyPair;

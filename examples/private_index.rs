@@ -7,8 +7,8 @@
 //! cargo run --release --example private_index
 //! ```
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use whisper_rand::rngs::StdRng;
+use whisper_rand::SeedableRng;
 use whisper::apps::chord::{ChordKey, IdealRing};
 use whisper::apps::tchord::{TChordApp, TChordConfig};
 use whisper::core::{GroupId, WhisperConfig, WhisperNode};

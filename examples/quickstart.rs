@@ -5,8 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use whisper_rand::rngs::StdRng;
+use whisper_rand::SeedableRng;
 use whisper::core::{GroupId, WhisperConfig, WhisperNode};
 use whisper::crypto::rsa::KeyPair;
 use whisper::net::nat::{NatDistribution, NatType};

@@ -9,8 +9,8 @@
 //! cargo run --release --example sorted_directory
 //! ```
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use whisper_rand::rngs::StdRng;
+use whisper_rand::SeedableRng;
 use whisper::apps::gosskip::{GosSkipApp, GosSkipConfig};
 use whisper::core::{GroupId, WhisperConfig, WhisperNode};
 use whisper::crypto::rsa::KeyPair;

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 verification for the WHISPER reproduction.
+#
+# Hermetic by construction: every step runs with `--offline`, so it works
+# from a clean checkout with an empty cargo registry and no network. The
+# workspace has zero external dependencies (see crates/whisper-rand for
+# the in-tree randomness/test/bench substrate that makes this possible).
+#
+# Usage: scripts/verify.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> offline release build (lib, bins, tests, benches, examples)"
+cargo build --release --offline --workspace --all-targets
+
+echo "==> offline test suite (whole workspace)"
+cargo test -q --offline --workspace
+
+echo "==> rustdoc builds clean (no warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace --quiet
+
+echo "verify: OK"

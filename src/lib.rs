@@ -19,7 +19,12 @@
 //!   `whisper-core`),
 //! * [`apps`] — gossip aggregation, T-Man, Chord and T-Chord, used both as
 //!   building blocks (leader election) and as the paper's demo application
-//!   (crate `whisper-apps`).
+//!   (crate `whisper-apps`),
+//! * [`rand`] — the in-tree deterministic randomness substrate: the
+//!   xoshiro256++ [`rand::StdRng`], per-node stream splitting, the
+//!   property-test helper and the bench harness (crate `whisper-rand`).
+//!   The workspace has **zero external dependencies** and never reads OS
+//!   entropy — every random draw is rooted in an explicit seed.
 //!
 //! See `README.md` for a quickstart, `DESIGN.md` for the system inventory
 //! and `EXPERIMENTS.md` for the paper-vs-measured comparison.
@@ -29,3 +34,4 @@ pub use whisper_core as core;
 pub use whisper_crypto as crypto;
 pub use whisper_net as net;
 pub use whisper_pss as pss;
+pub use whisper_rand as rand;

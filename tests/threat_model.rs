@@ -8,8 +8,8 @@
 //! * **Relationship anonymity** — a mix knows its predecessor and
 //!   successor but never source and destination together.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use whisper_rand::rngs::StdRng;
+use whisper_rand::SeedableRng;
 use whisper::core::{GroupId, WhisperConfig, WhisperNode};
 use whisper::crypto::onion::{build_onion, peel, PeelResult};
 use whisper::crypto::rsa::{KeyPair, RsaKeySize};
