@@ -478,7 +478,7 @@ impl GroupApp for GosSkipApp {
         self.cycles += 1;
         self.seed_from_ppss(api);
         // Alternate best-ranked and random partners, like T-Chord.
-        let partner: Option<SkipDescriptor> = if self.cycles % 2 == 0 {
+        let partner: Option<SkipDescriptor> = if self.cycles.is_multiple_of(2) {
             self.view.best().cloned()
         } else {
             let view = api.private_view(self.group);

@@ -5,6 +5,7 @@
 //! after `--` to filter (e.g. `-- rsa`).
 
 use whisper_crypto::aes::{Aes128, AesKey, CtrNonce};
+use whisper_crypto::circuit;
 use whisper_crypto::onion::{build_onion, peel, PeelResult};
 use whisper_crypto::rsa::{KeyPair, RsaKeySize};
 use whisper_crypto::sha256::Sha256;
@@ -98,6 +99,28 @@ fn bench_onion(c: &mut Bench) {
     group.finish();
 }
 
+/// The amortized steady-state path: three layered CTR passes at the
+/// source, one stripped per hop. Compare with `onion/build_3_layers` and
+/// `onion/peel_one_layer` to see what circuit caching removes.
+fn bench_circuit(c: &mut Bench) {
+    let mut group = c.group("circuit");
+    let mut rng = StdRng::seed_from_u64(9);
+    let (source, setups) = circuit::establish(3, &mut rng);
+    let nonce0 = CtrNonce::random(&mut rng);
+    for size in [256usize, 1024, 4096] {
+        let payload = vec![0xCDu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("seal_3_layers/{size}B"), |b| {
+            b.iter(|| circuit::seal_layers(&source.keys, &nonce0, &payload))
+        });
+        let sealed = circuit::seal_layers(&source.keys, &nonce0, &payload);
+        group.bench_function(format!("peel_one_layer/{size}B"), |b| {
+            b.iter(|| circuit::peel_layer(&setups[0].key, &nonce0, &sealed))
+        });
+    }
+    group.finish();
+}
+
 fn bench_bignum(c: &mut Bench) {
     use whisper_crypto::bignum::BigUint;
     let mut group = c.group("bignum");
@@ -107,7 +130,7 @@ fn bench_bignum(c: &mut Bench) {
         let bytes_b: Vec<u8> = (0..limbs * 8).map(|_| rng.gen()).collect();
         let a = BigUint::from_bytes_be(&bytes_a);
         let b = BigUint::from_bytes_be(&bytes_b);
-        // `mul` dispatches to Karatsuba above the 16-limb threshold.
+        // `mul` dispatches to Karatsuba above the 48-limb threshold.
         group.bench_function(format!("mul/{}bit", limbs * 64), |bench| {
             bench.iter(|| a.mul(&b))
         });
@@ -125,5 +148,7 @@ fn main() {
     bench_aes(&mut bench);
     bench_sha256(&mut bench);
     bench_onion(&mut bench);
+    bench_circuit(&mut bench);
     bench_bignum(&mut bench);
+    bench.emit_json();
 }

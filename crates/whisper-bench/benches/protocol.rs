@@ -137,10 +137,96 @@ fn bench_gossip_cycle(c: &mut Bench) {
     group.finish();
 }
 
+/// The PR's headline comparison: what one relay spends per forwarded
+/// packet on the paper's RSA-per-packet path versus the circuit
+/// steady-state path (Sim384 keys, as in the simulation).
+///
+/// * `rsa_per_packet/<n>B` — peel one hybrid onion layer: an RSA decrypt
+///   of the sealed session secret plus CTR over the layer plaintext. The
+///   body is forwarded untouched, so its size barely matters; the RSA
+///   decrypt dominates.
+/// * `circuit_steady/<n>B` — circuit-table lookup, one CTR pass over the
+///   body, and the nonce-chain hash. No RSA anywhere.
+///
+/// The derived `speedup_<n>B` entries (ratio of the two medians) are
+/// recorded into the JSON export; the ISSUE acceptance bar is ≥10× at
+/// Sim384.
+fn bench_wcl_forward(c: &mut Bench) {
+    use whisper_crypto::circuit::{self, CircuitEntry, CircuitId, CircuitTable};
+    use whisper_crypto::onion::{build_onion, peel};
+    use whisper_crypto::rsa::{KeyPair, RsaKeySize};
+
+    let mut rng = StdRng::seed_from_u64(11);
+    let keys: Vec<KeyPair> =
+        (0..3).map(|_| KeyPair::generate(RsaKeySize::Sim384, &mut rng)).collect();
+    let path: Vec<_> = keys
+        .iter()
+        .enumerate()
+        .map(|(i, k)| (k.public().clone(), vec![i as u8; 9]))
+        .collect();
+    let (source, setups) = circuit::establish(3, &mut rng);
+
+    let sizes = [256usize, 1024];
+    {
+        let mut group = c.group("wcl_forward");
+        for &size in &sizes {
+            let payload = vec![0x5Au8; size];
+
+            // RSA path: the relay peels its onion layer; the body is
+            // forwarded verbatim (its decryption happens only at D).
+            let packet = build_onion(&path, &payload, &mut rng).unwrap();
+            group.bench_function(format!("rsa_per_packet/{size}B"), |b| {
+                b.iter(|| peel(&keys[0], &packet.header).unwrap())
+            });
+
+            // Circuit path: table lookup + one CTR layer + nonce chain.
+            let nonce0 = whisper_crypto::aes::CtrNonce::random(&mut rng);
+            let sealed = circuit::seal_layers(&source.keys, &nonce0, &payload);
+            let mut table = CircuitTable::new(1024, u64::MAX);
+            table.insert(
+                0,
+                setups[0].cid_in,
+                CircuitEntry {
+                    key: setups[0].key,
+                    next_hop: vec![1u8; 9],
+                    cid_out: setups[0].cid_out,
+                },
+            );
+            let cid = setups[0].cid_in;
+            group.bench_function(format!("circuit_steady/{size}B"), |b| {
+                b.iter(|| {
+                    let entry = table.lookup(1, cid).expect("circuit cached");
+                    let body = circuit::peel_layer(&entry.key, &nonce0, &sealed);
+                    let next = circuit::next_nonce(&nonce0);
+                    (CircuitId(next.0), body)
+                })
+            });
+        }
+        group.finish();
+    }
+
+    for &size in &sizes {
+        let rsa = c.median_of(&format!("wcl_forward/rsa_per_packet/{size}B"));
+        let steady = c.median_of(&format!("wcl_forward/circuit_steady/{size}B"));
+        if let (Some(rsa), Some(steady)) = (rsa, steady) {
+            let speedup = rsa / steady;
+            println!(
+                "wcl_forward/speedup_{size}B                 {speedup:.1}x \
+                 (rsa {:.1} µs vs circuit {:.2} µs per relay hop)",
+                rsa / 1e3,
+                steady / 1e3,
+            );
+            c.record(format!("wcl_forward/speedup_{size}B"), speedup);
+        }
+    }
+}
+
 fn main() {
     let mut bench = Bench::from_args();
     bench_wire(&mut bench);
     bench_view_merge(&mut bench);
     bench_sim_engine(&mut bench);
     bench_gossip_cycle(&mut bench);
+    bench_wcl_forward(&mut bench);
+    bench.emit_json();
 }

@@ -16,10 +16,25 @@
 //! response arrives in time the WCL rebuilds an **alternative path**
 //! (different `A` and/or `B`) and retries, up to Π times — the machinery
 //! measured by Table I.
+//!
+//! # Circuit amortization
+//!
+//! The paper pays the full onion cost — three hybrid seals at the source
+//! and one RSA decrypt per hop — on *every* packet. This implementation
+//! amortizes it (see `whisper_crypto::circuit` and DESIGN.md § "Circuit
+//! amortization"): the first packet on a route is a normal RSA onion
+//! whose layers additionally deliver per-hop AES link keys; each hop
+//! stores them in a bounded, TTL'd circuit table, and subsequent packets
+//! to the same destination are layered AES-CTR only. A relay that has
+//! lost its circuit state silently drops the packet; the source's
+//! ordinary retry machinery then tears the stale route down and
+//! re-establishes over a fresh RSA onion.
 
 use whisper_rand::seq::SliceRandom;
 use whisper_rand::Rng;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use whisper_crypto::aes::CtrNonce;
+use whisper_crypto::circuit::{self, CircuitEntry, CircuitId, CircuitTable, HopSetup, SourceCircuit};
 use whisper_crypto::onion::{self, PeelResult};
 use whisper_crypto::rsa::PublicKey;
 use whisper_net::sim::Ctx;
@@ -109,6 +124,16 @@ pub struct WclConfig {
     pub retry_timeout: SimDuration,
     /// Maximum retries (Π in the paper).
     pub max_retries: usize,
+    /// Whether to amortize onion crypto over cached circuits (see module
+    /// docs). When `false`, every packet is a full RSA onion, exactly as
+    /// in the paper.
+    pub circuits: bool,
+    /// How long a relay keeps a circuit alive. The source refreshes its
+    /// cached route after half this, so a live conversation never races
+    /// relay expiry.
+    pub circuit_ttl: SimDuration,
+    /// Maximum circuits a relay stores (oldest evicted first).
+    pub circuit_capacity: usize,
 }
 
 impl Default for WclConfig {
@@ -117,6 +142,9 @@ impl Default for WclConfig {
             mixes: 2,
             retry_timeout: SimDuration::from_secs(2),
             max_retries: 3,
+            circuits: true,
+            circuit_ttl: SimDuration::from_secs(120),
+            circuit_capacity: 1024,
         }
     }
 }
@@ -167,6 +195,46 @@ impl WireDecode for WclPacket {
     }
 }
 
+/// The steady-state wire format once a circuit exists: no RSA header at
+/// all, just the hop-local circuit id, the CTR nonce for this link, and
+/// the layered body. Every field changes at each hop (the id is
+/// hop-local, the nonce is hash-chained, the body loses one CTR layer),
+/// so adjacent links share no bytes.
+#[derive(Clone, Debug, PartialEq)]
+struct CircuitPacket {
+    cid: CircuitId,
+    nonce: CtrNonce,
+    body: Vec<u8>,
+}
+
+const CIRCUIT_TAG: u8 = 0xC2;
+
+impl WireEncode for CircuitPacket {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u8(CIRCUIT_TAG);
+        w.put_raw(&self.cid.0);
+        w.put_raw(&self.nonce.0);
+        w.put_bytes(&self.body);
+    }
+}
+
+impl WireDecode for CircuitPacket {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        if r.take_u8()? != CIRCUIT_TAG {
+            return Err(WireError::new("not a circuit packet"));
+        }
+        let mut cid = [0u8; 8];
+        cid.copy_from_slice(r.take_raw(8)?);
+        let mut nonce = [0u8; 8];
+        nonce.copy_from_slice(r.take_raw(8)?);
+        Ok(CircuitPacket {
+            cid: CircuitId(cid),
+            nonce: CtrNonce(nonce),
+            body: r.take_bytes()?.to_vec(),
+        })
+    }
+}
+
 struct PendingSend {
     dest: DestInfo,
     payload: Vec<u8>,
@@ -176,16 +244,35 @@ struct PendingSend {
     sent_at: whisper_net::SimTime,
 }
 
+/// The source's cached route to one destination: the circuit keys, where
+/// to inject packets, and which mixes the route runs through (needed so
+/// retries can avoid them).
+struct CachedRoute {
+    circuit: SourceCircuit,
+    first_hop: (NodeId, bool),
+    mixes: (NodeId, NodeId),
+    expires: whisper_net::SimTime,
+}
+
 /// Per-node WCL state.
 pub struct Wcl {
     cfg: WclConfig,
     pending: HashMap<u64, PendingSend>,
     next_msg_id: u64,
+    /// Source side: destination → cached circuit route. `BTreeMap` so
+    /// nothing ever depends on hash iteration order.
+    routes: BTreeMap<NodeId, CachedRoute>,
+    /// Relay/destination side: circuits this node carries.
+    circuits: CircuitTable,
 }
 
 impl std::fmt::Debug for Wcl {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Wcl").field("pending", &self.pending.len()).finish()
+        f.debug_struct("Wcl")
+            .field("pending", &self.pending.len())
+            .field("routes", &self.routes.len())
+            .field("circuits", &self.circuits.len())
+            .finish()
     }
 }
 
@@ -193,7 +280,21 @@ impl Wcl {
     /// Creates WCL state.
     pub fn new(cfg: WclConfig) -> Self {
         assert!(cfg.mixes >= 1, "at least one mix required");
-        Wcl { cfg, pending: HashMap::new(), next_msg_id: 1 }
+        let circuits = CircuitTable::new(cfg.circuit_capacity.max(1), cfg.circuit_ttl.as_micros());
+        Wcl { cfg, pending: HashMap::new(), next_msg_id: 1, routes: BTreeMap::new(), circuits }
+    }
+
+    /// Drops all circuit state — the relay table and any cached source
+    /// routes — as a node restart would. Test hook for the miss-and-
+    /// rebuild path; never called by the protocol itself.
+    pub fn flush_circuits(&mut self) {
+        self.circuits.clear();
+        self.routes.clear();
+    }
+
+    /// Number of circuits this node currently carries for others.
+    pub fn carried_circuits(&self) -> usize {
+        self.circuits.len()
     }
 
     /// The configuration.
@@ -294,6 +395,12 @@ impl Wcl {
     ) -> Option<WclEvent> {
         let msg_id = msg_id_of_token(token);
         let mut p = self.pending.remove(&msg_id)?;
+        // The unanswered route is suspect — a relay may have lost its
+        // circuit state or a link may have died — so tear down the cached
+        // circuit before (re)building: the retry must not reuse it.
+        if self.routes.remove(&p.dest.node).is_some() {
+            ctx.metrics().count("wcl.circuit_teardown", 1);
+        }
         if p.attempts > self.cfg.max_retries {
             ctx.metrics().count("wcl.route_exhausted", 1);
             return Some(WclEvent::RouteFailed {
@@ -344,6 +451,49 @@ impl Wcl {
     ) -> Option<(NodeId, NodeId)> {
         let me = nylon.id();
         let now = ctx.now();
+
+        // Steady-state fast path: a cached circuit carries the packet with
+        // three CTR layers and zero RSA. Skipped when a retry is steering
+        // away from specific mixes — those want a *different* path.
+        if self.cfg.circuits && avoid_a.is_empty() && avoid_b.is_empty() {
+            let cached = self
+                .routes
+                .get(&dest.node)
+                .map(|r| (r.circuit.clone(), r.first_hop, r.mixes, r.expires));
+            if let Some((src_circuit, first_hop, mixes, expires)) = cached {
+                if expires > now {
+                    let nonce0 = CtrNonce::random(ctx.rng());
+                    let cost_before = whisper_crypto::costs::snapshot();
+                    let wall_started = std::time::Instant::now();
+                    let body = circuit::seal_layers(&src_circuit.keys, &nonce0, payload);
+                    let cost = whisper_crypto::costs::snapshot().since(cost_before);
+                    sample_crypto_cost(ctx, nylon.is_public(), &cost);
+                    ctx.metrics().sample(
+                        "wcl.circuit_seal_us",
+                        cost.aes_model_ns() as f64 / 1000.0,
+                    );
+                    ctx.metrics().sample(
+                        "wcl.circuit_seal_wall_us",
+                        wall_started.elapsed().as_nanos() as f64 / 1000.0,
+                    );
+                    let wire = CircuitPacket {
+                        cid: src_circuit.first_cid,
+                        nonce: nonce0,
+                        body,
+                    }
+                    .to_wire();
+                    let outcome = nylon.send_app(ctx, first_hop.0, first_hop.1, &[], wire);
+                    if outcome != SendOutcome::Failed {
+                        ctx.metrics().count("wcl.circuit_hit", 1);
+                        return Some(mixes);
+                    }
+                    // The link into the circuit is gone; tear the route
+                    // down and fall through to a fresh RSA onion.
+                    ctx.metrics().count("wcl.circuit_teardown", 1);
+                }
+                self.routes.remove(&dest.node);
+            }
+        }
 
         // Gateway B: a P-node able to reach D. For NATted destinations it
         // must come from the destination's advertised gateways; public
@@ -420,38 +570,87 @@ impl Wcl {
 
         let cost_before = whisper_crypto::costs::snapshot();
         let build_started = std::time::Instant::now();
-        let packet = match onion::build_onion(&path, payload, ctx.rng()) {
+        // With circuits enabled the onion doubles as circuit
+        // establishment: each layer carries that hop's link key and
+        // circuit ids.
+        let established = if self.cfg.circuits {
+            let (src_circuit, setups) = circuit::establish(path.len(), ctx.rng());
+            Some((src_circuit, setups))
+        } else {
+            None
+        };
+        let built = match &established {
+            Some((_, setups)) => {
+                let exts: Vec<Vec<u8>> = setups.iter().map(|s| s.encode()).collect();
+                onion::build_onion_ext(&path, payload, &exts, ctx.rng())
+            }
+            None => onion::build_onion(&path, payload, ctx.rng()),
+        };
+        let packet = match built {
             Ok(p) => p,
             Err(_) => return None,
         };
-        let build_us = build_started.elapsed().as_nanos() as f64 / 1000.0;
         let cost = whisper_crypto::costs::snapshot().since(cost_before);
-        ctx.metrics().sample("wcl.build_path_us", build_us);
-        let class = if nylon.is_public() { "p" } else { "n" };
+        // Primary sample is the deterministic model cost; wall-clock is
+        // kept as a secondary, explicitly excluded from determinism
+        // traces (see DESIGN.md § "Deterministic crypto accounting").
         ctx.metrics().sample(
-            if class == "p" { "crypto.rsa_us.pnode" } else { "crypto.rsa_us.nnode" },
-            cost.rsa_ns as f64 / 1000.0,
+            "wcl.build_path_us",
+            (cost.aes_model_ns() + cost.rsa_model_ns()) as f64 / 1000.0,
         );
         ctx.metrics().sample(
-            if class == "p" { "crypto.aes_us.pnode" } else { "crypto.aes_us.nnode" },
-            cost.aes_ns as f64 / 1000.0,
+            "wcl.build_path_wall_us",
+            build_started.elapsed().as_nanos() as f64 / 1000.0,
         );
+        sample_crypto_cost(ctx, nylon.is_public(), &cost);
         let wire = WclPacket { header: packet.header, body: packet.body }.to_wire();
         ctx.metrics().count("wcl.paths_built", 1);
         let outcome = nylon.send_app(ctx, a.0, a.1, &[], wire);
         if outcome == SendOutcome::Failed {
             return None;
         }
+        if let Some((src_circuit, _)) = established {
+            // Cache for half the relay-side TTL: the source always
+            // re-establishes well before any relay forgets the circuit.
+            let expires =
+                now + SimDuration::from_micros(self.cfg.circuit_ttl.as_micros() / 2);
+            self.routes.insert(
+                dest.node,
+                CachedRoute {
+                    circuit: src_circuit,
+                    first_hop: (a.0, a.1),
+                    mixes: (a.0, b.node),
+                    expires,
+                },
+            );
+            ctx.metrics().count("wcl.circuit_established", 1);
+        }
         Some((a.0, b.node))
     }
 
-    /// Processes an incoming Nylon `App` payload. If it is a WCL packet
-    /// this node either relays it (one onion layer peeled) or delivers it
-    /// (destination layer).
+    /// Processes an incoming Nylon `App` payload. If it is a WCL onion
+    /// packet this node either relays it (one onion layer peeled) or
+    /// delivers it (destination layer); if it is a circuit packet the node
+    /// strips one CTR layer and forwards or delivers.
     ///
-    /// Returns `None` if the payload is not a WCL packet (the caller may
-    /// try other parsers).
+    /// Returns `None` if the payload is neither (the caller may try other
+    /// parsers).
     pub fn on_app_payload(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        nylon: &mut NylonCore,
+        data: &[u8],
+    ) -> Option<WclEvent> {
+        match data.first() {
+            Some(&WCL_TAG) => self.on_onion_packet(ctx, nylon, data),
+            Some(&CIRCUIT_TAG) => self.on_circuit_packet(ctx, nylon, data),
+            _ => None,
+        }
+    }
+
+    /// Handles a full RSA onion packet (first packet of a route, or every
+    /// packet when circuits are disabled).
+    fn on_onion_packet(
         &mut self,
         ctx: &mut Ctx<'_>,
         nylon: &mut NylonCore,
@@ -462,24 +661,25 @@ impl Wcl {
         let cost_before = whisper_crypto::costs::snapshot();
         let peel_started = std::time::Instant::now();
         let peeled = onion::peel_with_body(&keypair, &packet.header, &packet.body);
-        let peel_us = peel_started.elapsed().as_nanos() as f64 / 1000.0;
         let cost = whisper_crypto::costs::snapshot().since(cost_before);
-        ctx.metrics().sample("wcl.peel_us", peel_us);
-        let class = if nylon.is_public() { "p" } else { "n" };
+        // Primary sample is the deterministic model cost; wall-clock is
+        // kept as a secondary, excluded from determinism traces.
         ctx.metrics().sample(
-            if class == "p" { "crypto.rsa_us.pnode" } else { "crypto.rsa_us.nnode" },
-            cost.rsa_ns as f64 / 1000.0,
+            "wcl.peel_us",
+            (cost.aes_model_ns() + cost.rsa_model_ns()) as f64 / 1000.0,
         );
         ctx.metrics().sample(
-            if class == "p" { "crypto.aes_us.pnode" } else { "crypto.aes_us.nnode" },
-            cost.aes_ns as f64 / 1000.0,
+            "wcl.peel_wall_us",
+            peel_started.elapsed().as_nanos() as f64 / 1000.0,
         );
+        sample_crypto_cost(ctx, nylon.is_public(), &cost);
         match peeled {
-            Ok(PeelResult::Relay { next_hop, header }) => {
+            Ok(PeelResult::Relay { next_hop, header, ext }) => {
                 let Some((next, next_public)) = parse_hop_addr(&next_hop) else {
                     ctx.metrics().count("wcl.bad_next_hop", 1);
                     return None;
                 };
+                self.install_circuit(ctx, &ext, next_hop.clone());
                 ctx.metrics().count("wcl.relayed", 1);
                 let fwd = WclPacket { header, body: packet.body }.to_wire();
                 // A mix reaches the next hop through an existing contact
@@ -492,7 +692,8 @@ impl Wcl {
                 }
                 None
             }
-            Ok(PeelResult::Destination { payload }) => {
+            Ok(PeelResult::Destination { payload, ext }) => {
+                self.install_circuit(ctx, &ext, Vec::new());
                 ctx.metrics().count("wcl.delivered", 1);
                 Some(WclEvent::Delivered { payload })
             }
@@ -502,6 +703,94 @@ impl Wcl {
             }
         }
     }
+
+    /// Stores the circuit state a just-peeled onion layer delivered for
+    /// this node (no-op for layers without an extension).
+    fn install_circuit(&mut self, ctx: &mut Ctx<'_>, ext: &[u8], next_hop: Vec<u8>) {
+        if ext.is_empty() {
+            return;
+        }
+        let Some(setup) = HopSetup::decode(ext) else {
+            ctx.metrics().count("wcl.circuit_bad_setup", 1);
+            return;
+        };
+        let entry = CircuitEntry { key: setup.key, next_hop, cid_out: setup.cid_out };
+        self.circuits.insert(ctx.now().as_micros(), setup.cid_in, entry);
+        ctx.metrics().count("wcl.circuit_installed", 1);
+    }
+
+    /// Handles a steady-state circuit packet: one CTR layer stripped, then
+    /// forwarded under the outbound circuit id or delivered. Unknown or
+    /// expired circuit ids are silently dropped — the source's retry
+    /// machinery recovers by re-establishing over RSA.
+    fn on_circuit_packet(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        nylon: &mut NylonCore,
+        data: &[u8],
+    ) -> Option<WclEvent> {
+        let packet = CircuitPacket::from_wire(data).ok()?;
+        let now_us = ctx.now().as_micros();
+        let Some(entry) = self.circuits.lookup(now_us, packet.cid) else {
+            ctx.metrics().count("wcl.circuit_miss_drop", 1);
+            return None;
+        };
+        let entry = entry.clone();
+        let cost_before = whisper_crypto::costs::snapshot();
+        let wall_started = std::time::Instant::now();
+        let body = circuit::peel_layer(&entry.key, &packet.nonce, &packet.body);
+        let cost = whisper_crypto::costs::snapshot().since(cost_before);
+        ctx.metrics().sample("wcl.circuit_fwd_us", cost.aes_model_ns() as f64 / 1000.0);
+        ctx.metrics().sample(
+            "wcl.circuit_fwd_wall_us",
+            wall_started.elapsed().as_nanos() as f64 / 1000.0,
+        );
+        sample_crypto_cost(ctx, nylon.is_public(), &cost);
+        match entry.cid_out {
+            Some(cid_out) => {
+                let Some((next, next_public)) = parse_hop_addr(&entry.next_hop) else {
+                    ctx.metrics().count("wcl.bad_next_hop", 1);
+                    return None;
+                };
+                ctx.metrics().count("wcl.relayed", 1);
+                ctx.metrics().count("wcl.circuit_forwarded", 1);
+                let fwd = CircuitPacket {
+                    cid: cid_out,
+                    nonce: circuit::next_nonce(&packet.nonce),
+                    body,
+                }
+                .to_wire();
+                let outcome = nylon.send_app(ctx, next, next_public, &[], fwd);
+                if outcome == SendOutcome::Failed {
+                    ctx.metrics().count("wcl.relay_drop", 1);
+                }
+                None
+            }
+            None => {
+                ctx.metrics().count("wcl.delivered", 1);
+                ctx.metrics().count("wcl.circuit_delivered", 1);
+                Some(WclEvent::Delivered { payload: body })
+            }
+        }
+    }
+}
+
+/// Samples the per-class crypto cost metrics (Table II) from a
+/// [`whisper_crypto::costs::CryptoCosts`] delta, using the deterministic
+/// model nanoseconds so traces are host-independent.
+fn sample_crypto_cost(
+    ctx: &mut Ctx<'_>,
+    is_public: bool,
+    cost: &whisper_crypto::costs::CryptoCosts,
+) {
+    ctx.metrics().sample(
+        if is_public { "crypto.rsa_us.pnode" } else { "crypto.rsa_us.nnode" },
+        cost.rsa_model_ns() as f64 / 1000.0,
+    );
+    ctx.metrics().sample(
+        if is_public { "crypto.aes_us.pnode" } else { "crypto.aes_us.nnode" },
+        cost.aes_model_ns() as f64 / 1000.0,
+    );
 }
 
 #[cfg(test)]
@@ -535,5 +824,35 @@ mod tests {
         let bytes = p.to_wire();
         assert_eq!(WclPacket::from_wire(&bytes).unwrap(), p);
         assert!(WclPacket::from_wire(&[0xFF, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn circuit_packet_wire_round_trip() {
+        let p = CircuitPacket {
+            cid: CircuitId([7; 8]),
+            nonce: CtrNonce([9; 8]),
+            body: vec![1, 2, 3, 4],
+        };
+        let bytes = p.to_wire();
+        assert_eq!(bytes[0], CIRCUIT_TAG);
+        assert_eq!(CircuitPacket::from_wire(&bytes).unwrap(), p);
+        // The two WCL wire formats never parse as each other.
+        assert!(WclPacket::from_wire(&bytes).is_err());
+        let onion = WclPacket { header: vec![1], body: vec![2] }.to_wire();
+        assert!(CircuitPacket::from_wire(&onion).is_err());
+    }
+
+    #[test]
+    fn flush_circuits_clears_all_state() {
+        let mut wcl = Wcl::new(WclConfig::default());
+        wcl.circuits.insert(
+            0,
+            CircuitId([1; 8]),
+            CircuitEntry { key: whisper_crypto::aes::AesKey([0; 16]), next_hop: vec![], cid_out: None },
+        );
+        assert_eq!(wcl.carried_circuits(), 1);
+        wcl.flush_circuits();
+        assert_eq!(wcl.carried_circuits(), 0);
+        assert!(wcl.routes.is_empty());
     }
 }

@@ -90,6 +90,37 @@ fn inv_sbox() -> &'static [u8; 256] {
 
 const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
 
+/// Encryption T-tables: the fused SubBytes+MixColumns lookup of the
+/// classic 32-bit AES formulation. `TE[r][x]` packs, for input byte `x`
+/// arriving at row `r` of a column, its contribution to the four output
+/// bytes of that column (byte `i` of the little-endian `u32` feeds output
+/// row `i`). Derived from [`SBOX`] at first use; the byte-wise reference
+/// path above stays as the specification the FIPS 197 vectors audit.
+struct EncTables {
+    te: [[u32; 256]; 4],
+}
+
+fn enc_tables() -> &'static EncTables {
+    use std::sync::OnceLock;
+    static TABLES: OnceLock<EncTables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut te = [[0u32; 256]; 4];
+        for x in 0..256 {
+            let s = SBOX[x];
+            let s2 = gmul(s, 2);
+            let s3 = gmul(s, 3);
+            // MixColumns rows for an input at row r (see `mix_columns`):
+            // row 0 input multiplies into outputs (2, 1, 1, 3), row 1 into
+            // (3, 2, 1, 1), and so on by rotation.
+            te[0][x] = u32::from_le_bytes([s2, s, s, s3]);
+            te[1][x] = u32::from_le_bytes([s3, s2, s, s]);
+            te[2][x] = u32::from_le_bytes([s, s3, s2, s]);
+            te[3][x] = u32::from_le_bytes([s, s, s3, s2]);
+        }
+        EncTables { te }
+    })
+}
+
 /// Multiplication in GF(2^8) with the AES polynomial.
 fn gmul(mut a: u8, mut b: u8) -> u8 {
     let mut p = 0u8;
@@ -111,6 +142,9 @@ fn gmul(mut a: u8, mut b: u8) -> u8 {
 #[derive(Clone)]
 pub struct Aes128 {
     round_keys: [[u8; 16]; 11],
+    /// The same schedule as packed little-endian column words, for the
+    /// T-table encryption path.
+    rk32: [[u32; 4]; 11],
 }
 
 impl std::fmt::Debug for Aes128 {
@@ -140,16 +174,62 @@ impl Aes128 {
             }
         }
         let mut round_keys = [[0u8; 16]; 11];
+        let mut rk32 = [[0u32; 4]; 11];
         for r in 0..11 {
             for c in 0..4 {
                 round_keys[r][c * 4..c * 4 + 4].copy_from_slice(&w[r * 4 + c]);
+                rk32[r][c] = u32::from_le_bytes(w[r * 4 + c]);
             }
         }
-        Aes128 { round_keys }
+        Aes128 { round_keys, rk32 }
     }
 
-    /// Encrypts one 16-byte block in place.
+    /// Encrypts one 16-byte block in place (T-table fast path; validated
+    /// against the byte-wise reference by the FIPS 197 vectors and
+    /// [`Aes128::decrypt_block`] round trips).
     pub fn encrypt_block(&self, block: &mut [u8; 16]) {
+        let t = &enc_tables().te;
+        // State as four little-endian column words: byte i = row i.
+        let mut c = [0u32; 4];
+        for j in 0..4 {
+            c[j] = u32::from_le_bytes([
+                block[j * 4],
+                block[j * 4 + 1],
+                block[j * 4 + 2],
+                block[j * 4 + 3],
+            ]) ^ self.rk32[0][j];
+        }
+        for round in 1..10 {
+            // ShiftRows moves the byte at row r of output column j in
+            // from column (j + r) % 4; the T-tables fuse SubBytes and
+            // MixColumns on top.
+            let mut n = [0u32; 4];
+            for j in 0..4 {
+                n[j] = t[0][(c[j] & 0xff) as usize]
+                    ^ t[1][((c[(j + 1) & 3] >> 8) & 0xff) as usize]
+                    ^ t[2][((c[(j + 2) & 3] >> 16) & 0xff) as usize]
+                    ^ t[3][(c[(j + 3) & 3] >> 24) as usize]
+                    ^ self.rk32[round][j];
+            }
+            c = n;
+        }
+        // Final round: SubBytes + ShiftRows + AddRoundKey, no MixColumns.
+        for j in 0..4 {
+            let v = u32::from_le_bytes([
+                SBOX[(c[j] & 0xff) as usize],
+                SBOX[((c[(j + 1) & 3] >> 8) & 0xff) as usize],
+                SBOX[((c[(j + 2) & 3] >> 16) & 0xff) as usize],
+                SBOX[(c[(j + 3) & 3] >> 24) as usize],
+            ]) ^ self.rk32[10][j];
+            block[j * 4..j * 4 + 4].copy_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Encrypts one 16-byte block with the byte-wise FIPS 197 reference
+    /// rounds; kept as the auditable specification of
+    /// [`Aes128::encrypt_block`].
+    #[cfg(test)]
+    fn encrypt_block_reference(&self, block: &mut [u8; 16]) {
         add_round_key(block, &self.round_keys[0]);
         for round in 1..10 {
             sub_bytes(block);
@@ -182,17 +262,18 @@ impl Aes128 {
     /// Elapsed time is accounted in [`crate::costs`].
     pub fn ctr_apply(&self, nonce: &CtrNonce, data: &[u8]) -> Vec<u8> {
         let started = std::time::Instant::now();
-        let mut out = Vec::with_capacity(data.len());
+        let mut out = data.to_vec();
         let mut counter_block = [0u8; 16];
         counter_block[..8].copy_from_slice(&nonce.0);
-        for (block_idx, chunk) in data.chunks(16).enumerate() {
+        for (block_idx, chunk) in out.chunks_mut(16).enumerate() {
             counter_block[8..].copy_from_slice(&(block_idx as u64).to_be_bytes());
             let mut keystream = counter_block;
             self.encrypt_block(&mut keystream);
-            for (i, &byte) in chunk.iter().enumerate() {
-                out.push(byte ^ keystream[i]);
+            for (byte, &k) in chunk.iter_mut().zip(keystream.iter()) {
+                *byte ^= k;
             }
         }
+        crate::costs::add_aes_blocks(data.len().div_ceil(16) as u64);
         crate::costs::add_aes(started.elapsed().as_nanos() as u64);
         out
     }
@@ -205,7 +286,9 @@ fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
         state[i] ^= rk[i];
     }
 }
-
+// The forward round helpers below survive only for the reference
+// implementation the T-table fast path is validated against.
+#[cfg(test)]
 fn sub_bytes(state: &mut [u8; 16]) {
     for b in state.iter_mut() {
         *b = SBOX[*b as usize];
@@ -219,6 +302,7 @@ fn inv_sub_bytes(state: &mut [u8; 16]) {
     }
 }
 
+#[cfg(test)]
 fn shift_rows(state: &mut [u8; 16]) {
     for r in 1..4 {
         let row = [state[r], state[4 + r], state[8 + r], state[12 + r]];
@@ -237,6 +321,7 @@ fn inv_shift_rows(state: &mut [u8; 16]) {
     }
 }
 
+#[cfg(test)]
 fn mix_columns(state: &mut [u8; 16]) {
     for c in 0..4 {
         let col = [state[c * 4], state[c * 4 + 1], state[c * 4 + 2], state[c * 4 + 3]];
@@ -305,6 +390,24 @@ mod tests {
                 0xb4, 0xc5, 0x5a
             ]
         );
+    }
+
+    /// The T-table fast path agrees with the byte-wise FIPS 197 rounds on
+    /// random keys and blocks.
+    #[test]
+    fn ttable_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..20 {
+            let cipher = Aes128::new(&AesKey::random(&mut rng));
+            for _ in 0..20 {
+                let mut fast = [0u8; 16];
+                rng.fill(&mut fast);
+                let mut reference = fast;
+                cipher.encrypt_block(&mut fast);
+                cipher.encrypt_block_reference(&mut reference);
+                assert_eq!(fast, reference);
+            }
+        }
     }
 
     #[test]

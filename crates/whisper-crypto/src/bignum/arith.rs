@@ -96,6 +96,19 @@ impl BigUint {
         BigUint::from_limbs(out)
     }
 
+    /// Returns `self << (limbs * 64)` by prepending zero limbs — a single
+    /// allocation and `memcpy`, with none of the per-limb bit shifting
+    /// [`BigUint::shl`] pays for unaligned amounts. This is the shift
+    /// Karatsuba recombination needs.
+    pub(crate) fn shl_limbs(&self, limbs: usize) -> BigUint {
+        if self.is_zero() || limbs == 0 {
+            return self.clone();
+        }
+        let mut out = vec![0u64; limbs + self.limbs.len()];
+        out[limbs..].copy_from_slice(&self.limbs);
+        BigUint::from_limbs(out)
+    }
+
     /// Returns `self << bits`.
     pub fn shl(&self, bits: usize) -> BigUint {
         if self.is_zero() || bits == 0 {

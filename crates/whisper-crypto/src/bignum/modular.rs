@@ -111,6 +111,11 @@ impl Montgomery {
     }
 
     /// Computes `base^exp mod m` by left-to-right square-and-multiply.
+    ///
+    /// Accounts `n² × mont_mul-calls` deterministic limb-operation units
+    /// in [`crate::costs`] (one unit per CIOS inner-loop step), so the
+    /// cost model tracks the actual multiplication count of this exact
+    /// exponent.
     pub fn pow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
         if exp.is_zero() {
             return BigUint::one().rem(&BigUint::from_limbs(self.m.clone()));
@@ -118,12 +123,18 @@ impl Montgomery {
         let base = base.rem(&BigUint::from_limbs(self.m.clone()));
         let mb = self.to_mont(&base);
         let mut acc = self.to_mont(&BigUint::one());
+        let mut muls: u64 = 2; // the two to_mont conversions above
         for i in (0..exp.bits()).rev() {
             acc = self.mont_mul(&acc, &acc);
+            muls += 1;
             if exp.bit(i) {
                 acc = self.mont_mul(&acc, &mb);
+                muls += 1;
             }
         }
+        muls += 1; // from_mont below
+        let n = self.len() as u64;
+        crate::costs::add_rsa_limb_ops(muls * n * n);
         self.from_mont(&acc)
     }
 }

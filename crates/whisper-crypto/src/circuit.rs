@@ -1,0 +1,445 @@
+//! Circuit amortization for onion routes: per-hop AES link keys that
+//! remove RSA from the steady-state forwarding path.
+//!
+//! The paper's cost breakdown (Fig. 7, Table II) shows per-message RSA
+//! dominating WCL crypto cost: every packet pays 3 hybrid seals at the
+//! source and one RSA decrypt per hop, even when the same `S → A → B → D`
+//! route is reused across a conversation. This module amortizes that the
+//! way Tor and VPO-style overlays do:
+//!
+//! * The **first** packet on a route travels as a normal RSA onion whose
+//!   layers additionally carry, for each hop, a [`HopSetup`]: a fresh
+//!   AES-128 link key plus two local circuit ids (inbound and, for
+//!   relays, outbound).
+//! * Each hop stores `cid_in → (key, next hop, cid_out)` in a bounded,
+//!   TTL'd [`CircuitTable`].
+//! * **Subsequent** packets are layered AES-CTR only: the source applies
+//!   one CTR layer per hop ([`seal_layers`]); each relay strips exactly
+//!   one ([`peel_layer`]) and forwards under its outbound circuit id.
+//!
+//! # Unlinkability
+//!
+//! Relationship anonymity must not regress relative to the RSA-only
+//! path, where a mix's two links already share no ciphertext bytes.
+//! Three per-hop re-randomizations keep that true here:
+//!
+//! * **Circuit ids are per-hop local**: each hop sees its own `cid_in`
+//!   and forwards under an independently drawn `cid_out` (as in Tor), so
+//!   ids on adjacent links never match.
+//! * **Nonces are chained**, not forwarded: hop `i + 1` receives
+//!   `SHA-256(nonce_i)` truncated to 64 bits ([`next_nonce`]), so the
+//!   nonce field also differs on every link while each hop can still
+//!   derive its own keystream position.
+//! * **The body changes at every hop** because each relay strips one CTR
+//!   layer — unlike the RSA path, where the body is forwarded verbatim
+//!   and only the header changes.
+//!
+//! Every field of a circuit packet — id, nonce, ciphertext — is therefore
+//! bitwise unlinkable across hops; the regression test in
+//! `tests/threat_model.rs` asserts exactly this.
+//!
+//! This module is deliberately free of networking types: time is a plain
+//! microsecond count and next-hop addresses are opaque bytes, so the WCL
+//! layer above owns all policy (TTLs, capacities, when to rebuild).
+
+use crate::aes::{Aes128, AesKey, CtrNonce};
+use crate::sha256::Sha256;
+use std::collections::{BTreeMap, VecDeque};
+use whisper_rand::Rng;
+
+/// A local circuit identifier, meaningful only on one link. 64 bits keeps
+/// accidental collision probability negligible at any realistic table
+/// size while staying cheap on the wire.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CircuitId(pub [u8; 8]);
+
+impl CircuitId {
+    /// Draws a uniformly random id.
+    pub fn random<R: Rng>(rng: &mut R) -> Self {
+        let mut id = [0u8; 8];
+        rng.fill(&mut id);
+        CircuitId(id)
+    }
+}
+
+impl std::fmt::Debug for CircuitId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cid:{:016x}", u64::from_be_bytes(self.0))
+    }
+}
+
+/// Wire size of a relay-hop [`HopSetup`] (`cid_in ‖ cid_out ‖ key`).
+pub const RELAY_SETUP_LEN: usize = 8 + 8 + 16;
+/// Wire size of a destination [`HopSetup`] (`cid_in ‖ key`).
+pub const DEST_SETUP_LEN: usize = 8 + 16;
+
+/// The key material one hop extracts from its onion layer during circuit
+/// establishment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HopSetup {
+    /// The circuit id under which this hop will receive packets.
+    pub cid_in: CircuitId,
+    /// The circuit id under which this hop forwards (`None` at the
+    /// destination).
+    pub cid_out: Option<CircuitId>,
+    /// The per-hop AES-128 link key.
+    pub key: AesKey,
+}
+
+impl HopSetup {
+    /// Encodes for embedding in an onion layer extension. Relay and
+    /// destination forms are distinguished by length alone, so a hop
+    /// learns nothing extra from the encoding.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(RELAY_SETUP_LEN);
+        out.extend_from_slice(&self.cid_in.0);
+        if let Some(cid_out) = self.cid_out {
+            out.extend_from_slice(&cid_out.0);
+        }
+        out.extend_from_slice(&self.key.0);
+        out
+    }
+
+    /// Decodes an onion-layer extension; `None` for foreign lengths.
+    pub fn decode(bytes: &[u8]) -> Option<HopSetup> {
+        let (cid_in, cid_out, key_bytes) = match bytes.len() {
+            RELAY_SETUP_LEN => (&bytes[..8], Some(&bytes[8..16]), &bytes[16..]),
+            DEST_SETUP_LEN => (&bytes[..8], None, &bytes[8..]),
+            _ => return None,
+        };
+        let mut cid = [0u8; 8];
+        cid.copy_from_slice(cid_in);
+        let cid_out = cid_out.map(|b| {
+            let mut c = [0u8; 8];
+            c.copy_from_slice(b);
+            CircuitId(c)
+        });
+        let mut key = [0u8; 16];
+        key.copy_from_slice(key_bytes);
+        Some(HopSetup { cid_in: CircuitId(cid), cid_out, key: AesKey(key) })
+    }
+}
+
+/// The source's view of an established circuit: the id the first hop
+/// listens on and the link keys in forwarding order.
+#[derive(Clone, Debug)]
+pub struct SourceCircuit {
+    /// Circuit id of the first hop's inbound link.
+    pub first_cid: CircuitId,
+    /// Per-hop link keys, `keys[0]` = first hop … `keys[n-1]` =
+    /// destination.
+    pub keys: Vec<AesKey>,
+}
+
+/// Draws fresh circuit state for an `n_hops` route: the source keeps the
+/// [`SourceCircuit`], and `setups[i]` goes into hop `i`'s onion layer.
+///
+/// Every id and key is independently random — no hop can correlate its
+/// ids or key with another hop's.
+///
+/// # Panics
+///
+/// Panics if `n_hops` is zero.
+pub fn establish<R: Rng>(n_hops: usize, rng: &mut R) -> (SourceCircuit, Vec<HopSetup>) {
+    assert!(n_hops >= 1, "a circuit needs at least one hop");
+    let cids: Vec<CircuitId> = (0..n_hops).map(|_| CircuitId::random(rng)).collect();
+    let keys: Vec<AesKey> = (0..n_hops).map(|_| AesKey::random(rng)).collect();
+    let setups = (0..n_hops)
+        .map(|i| HopSetup {
+            cid_in: cids[i],
+            cid_out: cids.get(i + 1).copied(),
+            key: keys[i],
+        })
+        .collect();
+    (SourceCircuit { first_cid: cids[0], keys }, setups)
+}
+
+/// Derives the nonce the next hop will use: `SHA-256(nonce)` truncated to
+/// 64 bits. Chaining (instead of forwarding the same nonce) makes the
+/// nonce field unlinkable across links while keeping every hop's
+/// keystream position deterministic.
+pub fn next_nonce(nonce: &CtrNonce) -> CtrNonce {
+    let digest = Sha256::digest(&nonce.0);
+    let mut n = [0u8; 8];
+    n.copy_from_slice(&digest[..8]);
+    CtrNonce(n)
+}
+
+/// Applies the source-side layering: one CTR pass per hop, innermost
+/// (destination) first, so that hop `i` — peeling with `keys[i]` and the
+/// `i`-th nonce in the [`next_nonce`] chain from `nonce0` — strips
+/// exactly the outermost remaining layer.
+pub fn seal_layers(keys: &[AesKey], nonce0: &CtrNonce, payload: &[u8]) -> Vec<u8> {
+    let mut nonces = Vec::with_capacity(keys.len());
+    let mut n = *nonce0;
+    for _ in keys {
+        nonces.push(n);
+        n = next_nonce(&n);
+    }
+    let mut body = payload.to_vec();
+    for (key, nonce) in keys.iter().zip(nonces.iter()).rev() {
+        body = Aes128::new(key).ctr_apply(nonce, &body);
+    }
+    body
+}
+
+/// Strips one circuit layer — the entire steady-state crypto cost of a
+/// hop.
+pub fn peel_layer(key: &AesKey, nonce: &CtrNonce, body: &[u8]) -> Vec<u8> {
+    Aes128::new(key).ctr_apply(nonce, body)
+}
+
+/// What a hop remembers about one circuit.
+#[derive(Clone, Debug)]
+pub struct CircuitEntry {
+    /// The link key packets arriving on this circuit are sealed under.
+    pub key: AesKey,
+    /// Opaque next-hop address (empty at the destination).
+    pub next_hop: Vec<u8>,
+    /// Outbound circuit id (`None` at the destination).
+    pub cid_out: Option<CircuitId>,
+}
+
+/// A bounded, TTL'd map of `cid_in → CircuitEntry`, with deterministic
+/// insertion-order eviction (a `BTreeMap` plus an explicit FIFO queue, so
+/// behavior never depends on hash iteration order — see DESIGN.md
+/// § "Determinism & randomness").
+#[derive(Debug)]
+pub struct CircuitTable {
+    cap: usize,
+    ttl_us: u64,
+    /// `cid → (entry, expires_at_us)`.
+    entries: BTreeMap<CircuitId, (CircuitEntry, u64)>,
+    /// Insertion order for capacity eviction; may contain ids already
+    /// removed (lazily skipped).
+    order: VecDeque<CircuitId>,
+}
+
+impl CircuitTable {
+    /// Creates a table holding at most `cap` circuits, each expiring
+    /// `ttl_us` microseconds after insertion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    pub fn new(cap: usize, ttl_us: u64) -> Self {
+        assert!(cap >= 1, "circuit table capacity must be positive");
+        CircuitTable { cap, ttl_us, entries: BTreeMap::new(), order: VecDeque::new() }
+    }
+
+    /// Number of stored circuits (including not-yet-collected expired
+    /// ones).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts (or refreshes) a circuit, evicting the oldest insertion
+    /// when full.
+    pub fn insert(&mut self, now_us: u64, cid: CircuitId, entry: CircuitEntry) {
+        if self.entries.remove(&cid).is_some() {
+            self.order.retain(|c| *c != cid);
+        }
+        while self.entries.len() >= self.cap {
+            match self.order.pop_front() {
+                Some(old) => {
+                    self.entries.remove(&old);
+                }
+                None => break, // queue exhausted; cannot happen while entries is non-empty
+            }
+        }
+        self.entries.insert(cid, (entry, now_us.saturating_add(self.ttl_us)));
+        self.order.push_back(cid);
+    }
+
+    /// Looks up a live circuit; expired entries are dropped on access.
+    pub fn lookup(&mut self, now_us: u64, cid: CircuitId) -> Option<&CircuitEntry> {
+        if let Some((_, expires)) = self.entries.get(&cid) {
+            if *expires <= now_us {
+                self.entries.remove(&cid);
+                self.order.retain(|c| *c != cid);
+                return None;
+            }
+        }
+        self.entries.get(&cid).map(|(e, _)| e)
+    }
+
+    /// Drops every stored circuit (simulates a relay losing state, e.g. a
+    /// restart after churn).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.order.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use whisper_rand::rngs::StdRng;
+    use whisper_rand::SeedableRng;
+
+    fn entry(b: u8) -> CircuitEntry {
+        CircuitEntry { key: AesKey([b; 16]), next_hop: vec![b], cid_out: None }
+    }
+
+    fn cid(b: u8) -> CircuitId {
+        CircuitId([b; 8])
+    }
+
+    #[test]
+    fn establish_then_walk_all_layers() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (source, setups) = establish(3, &mut rng);
+        assert_eq!(source.keys.len(), 3);
+        assert_eq!(setups[0].cid_in, source.first_cid);
+        // The chain of hop setups is consistent: each relay's cid_out is
+        // the next hop's cid_in; the destination has none.
+        assert_eq!(setups[0].cid_out, Some(setups[1].cid_in));
+        assert_eq!(setups[1].cid_out, Some(setups[2].cid_in));
+        assert_eq!(setups[2].cid_out, None);
+
+        // Seal at the source, peel one layer per hop.
+        let payload = b"steady-state private view exchange";
+        let nonce0 = CtrNonce([9; 8]);
+        let mut body = seal_layers(&source.keys, &nonce0, payload);
+        let mut nonce = nonce0;
+        for setup in &setups {
+            body = peel_layer(&setup.key, &nonce, &body);
+            nonce = next_nonce(&nonce);
+        }
+        assert_eq!(body, payload);
+    }
+
+    #[test]
+    fn single_hop_circuit() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (source, setups) = establish(1, &mut rng);
+        assert_eq!(setups.len(), 1);
+        assert_eq!(setups[0].cid_out, None);
+        let nonce0 = CtrNonce([1; 8]);
+        let body = seal_layers(&source.keys, &nonce0, b"direct");
+        assert_eq!(peel_layer(&setups[0].key, &nonce0, &body), b"direct");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one hop")]
+    fn zero_hop_circuit_panics() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = establish(0, &mut rng);
+    }
+
+    #[test]
+    fn intermediate_layers_hide_payload() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let (source, setups) = establish(3, &mut rng);
+        let payload = b"the payload no single relay may see, at any hop";
+        let nonce0 = CtrNonce([7; 8]);
+        let leaks = |bytes: &[u8]| {
+            bytes.windows(8).any(|w| payload.windows(8).any(|p| p == w))
+        };
+        let mut body = seal_layers(&source.keys, &nonce0, payload);
+        assert!(!leaks(&body));
+        let mut nonce = nonce0;
+        // After the first and second peels the payload is still covered
+        // by at least one remaining layer.
+        for setup in &setups[..2] {
+            body = peel_layer(&setup.key, &nonce, &body);
+            nonce = next_nonce(&nonce);
+            assert!(!leaks(&body), "payload visible before the last hop");
+        }
+    }
+
+    #[test]
+    fn nonce_chain_changes_every_hop() {
+        let n0 = CtrNonce([0; 8]);
+        let n1 = next_nonce(&n0);
+        let n2 = next_nonce(&n1);
+        assert_ne!(n0, n1);
+        assert_ne!(n1, n2);
+        assert_ne!(n0, n2);
+        // Deterministic: the chain is a pure function of the start.
+        assert_eq!(next_nonce(&n0), n1);
+    }
+
+    #[test]
+    fn hop_setup_codec_round_trip() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let relay = HopSetup {
+            cid_in: CircuitId::random(&mut rng),
+            cid_out: Some(CircuitId::random(&mut rng)),
+            key: AesKey::random(&mut rng),
+        };
+        let dest = HopSetup { cid_out: None, ..relay.clone() };
+        for setup in [&relay, &dest] {
+            let bytes = setup.encode();
+            assert_eq!(HopSetup::decode(&bytes).as_ref(), Some(setup));
+        }
+        assert_eq!(relay.encode().len(), RELAY_SETUP_LEN);
+        assert_eq!(dest.encode().len(), DEST_SETUP_LEN);
+        assert_eq!(HopSetup::decode(&[0u8; 7]), None);
+        assert_eq!(HopSetup::decode(&[]), None);
+    }
+
+    #[test]
+    fn table_lookup_hit_and_ttl_expiry() {
+        let mut t = CircuitTable::new(8, 1_000);
+        t.insert(0, cid(1), entry(1));
+        assert_eq!(t.lookup(999, cid(1)).map(|e| e.next_hop.clone()), Some(vec![1]));
+        // At exactly the expiry instant the entry is gone, and stays gone.
+        assert!(t.lookup(1_000, cid(1)).is_none());
+        assert!(t.lookup(0, cid(1)).is_none(), "expired entries are dropped, not revived");
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn table_evicts_oldest_insertion_first() {
+        let mut t = CircuitTable::new(2, u64::MAX);
+        t.insert(0, cid(1), entry(1));
+        t.insert(1, cid(2), entry(2));
+        t.insert(2, cid(3), entry(3)); // evicts cid(1)
+        assert!(t.lookup(3, cid(1)).is_none());
+        assert!(t.lookup(3, cid(2)).is_some());
+        assert!(t.lookup(3, cid(3)).is_some());
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn table_reinsert_refreshes_position_and_expiry() {
+        let mut t = CircuitTable::new(2, 100);
+        t.insert(0, cid(1), entry(1));
+        t.insert(1, cid(2), entry(2));
+        t.insert(50, cid(1), entry(9)); // refresh: now newest, expires at 150
+        t.insert(60, cid(3), entry(3)); // evicts cid(2), the oldest
+        assert!(t.lookup(70, cid(2)).is_none());
+        assert_eq!(t.lookup(140, cid(1)).map(|e| e.key.0[0]), Some(9));
+        assert!(t.lookup(150, cid(1)).is_none(), "refreshed expiry honored");
+    }
+
+    #[test]
+    fn table_eviction_is_deterministic() {
+        // Same insertion sequence ⇒ same survivors, regardless of id
+        // values (BTreeMap + FIFO, never hash order).
+        let run = || {
+            let mut t = CircuitTable::new(4, u64::MAX);
+            for b in [9u8, 3, 7, 1, 8, 2] {
+                t.insert(b as u64, cid(b), entry(b));
+            }
+            (0..=9u8).filter(|b| t.lookup(100, cid(*b)).is_some()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+        assert_eq!(run(), vec![1, 2, 7, 8], "last four insertions survive");
+    }
+
+    #[test]
+    fn clear_simulates_state_loss() {
+        let mut t = CircuitTable::new(8, u64::MAX);
+        t.insert(0, cid(1), entry(1));
+        t.clear();
+        assert!(t.lookup(1, cid(1)).is_none());
+        assert!(t.is_empty());
+    }
+}

@@ -13,7 +13,9 @@
 //! * [`sha256`] — the SHA-256 hash function,
 //! * [`hybrid`] — RSA-sealed AES session keys ("seal"/"open"),
 //! * [`onion`] — the layered onion construction of paper §III-A: a small
-//!   RSA-protected routing header plus an AES-protected body.
+//!   RSA-protected routing header plus an AES-protected body,
+//! * [`circuit`] — circuit amortization: per-hop AES link keys established
+//!   through the first onion so steady-state packets skip RSA entirely.
 //!
 //! # Security disclaimer
 //!
@@ -43,6 +45,7 @@
 
 pub mod aes;
 pub mod bignum;
+pub mod circuit;
 pub mod costs;
 pub mod hybrid;
 pub mod onion;

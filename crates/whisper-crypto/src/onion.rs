@@ -25,11 +25,12 @@
 //!     (dest.public().clone(), b"dst-addr".to_vec()),
 //! ];
 //! let packet = build_onion(&path, b"payload", &mut rng)?;
-//! let PeelResult::Relay { next_hop, header } = peel(&mix, &packet.header)? else {
+//! let PeelResult::Relay { next_hop, header, .. } = peel(&mix, &packet.header)? else {
 //!     panic!("mix should relay");
 //! };
 //! assert_eq!(next_hop, b"dst-addr");
-//! let PeelResult::Destination { payload } = peel_with_body(&dest, &header, &packet.body)? else {
+//! let PeelResult::Destination { payload, .. } = peel_with_body(&dest, &header, &packet.body)?
+//! else {
 //!     panic!("dest should terminate");
 //! };
 //! # use whisper_crypto::onion::peel_with_body;
@@ -46,6 +47,12 @@ use whisper_rand::Rng;
 
 const TAG_DEST: u8 = 0;
 const TAG_RELAY: u8 = 1;
+// Extension-carrying variants: identical to the legacy layers plus an
+// opaque per-hop extension blob (used by [`crate::circuit`] to deliver
+// link-key setups). Layers with an empty extension keep the legacy tags,
+// so extension-free onions are bit-for-bit the legacy format.
+const TAG_DEST_EXT: u8 = 2;
+const TAG_RELAY_EXT: u8 = 3;
 
 /// A fully built onion: the layered routing header plus the AES-encrypted
 /// body.
@@ -75,11 +82,17 @@ pub enum PeelResult {
         next_hop: Vec<u8>,
         /// The inner header to forward.
         header: Vec<u8>,
+        /// Per-hop extension delivered to this mix (empty for legacy
+        /// layers); carries e.g. a circuit [`crate::circuit::HopSetup`].
+        ext: Vec<u8>,
     },
     /// This node is the destination; `payload` is the decrypted content.
     Destination {
         /// The decrypted message content.
         payload: Vec<u8>,
+        /// Per-hop extension delivered to the destination (empty for
+        /// legacy layers).
+        ext: Vec<u8>,
     },
 }
 
@@ -100,27 +113,71 @@ pub fn build_onion<R: Rng>(
     payload: &[u8],
     rng: &mut R,
 ) -> Result<OnionPacket, CryptoError> {
+    build_onion_ext(path, payload, &[], rng)
+}
+
+/// Like [`build_onion`], but layer `i` additionally carries the opaque
+/// extension `exts[i]`, readable only by hop `i`. This is how circuit
+/// establishment ([`crate::circuit`]) piggybacks per-hop link keys on the
+/// first onion of a route. Layers whose extension is empty use the legacy
+/// wire tags, so `exts = &[]` (or all-empty) reproduces [`build_onion`]
+/// exactly.
+///
+/// # Errors
+///
+/// Propagates RSA errors (e.g. a modulus too small for the session
+/// secret).
+///
+/// # Panics
+///
+/// Panics if `path` is empty, or if `exts` is non-empty and its length
+/// differs from `path`'s.
+pub fn build_onion_ext<R: Rng>(
+    path: &[(PublicKey, Vec<u8>)],
+    payload: &[u8],
+    exts: &[Vec<u8>],
+    rng: &mut R,
+) -> Result<OnionPacket, CryptoError> {
     assert!(!path.is_empty(), "onion path must have at least one hop");
+    assert!(
+        exts.is_empty() || exts.len() == path.len(),
+        "one extension per hop (or none at all)"
+    );
+    static NO_EXT: Vec<u8> = Vec::new();
+    let ext_of = |i: usize| exts.get(i).unwrap_or(&NO_EXT);
+
     let key = AesKey::random(rng);
     let nonce = CtrNonce::random(rng);
     let body = Aes128::new(&key).ctr_apply(&nonce, payload);
 
-    // Innermost layer, for the destination: TAG_DEST ‖ k ‖ nonce.
+    // Innermost layer, for the destination:
+    // TAG_DEST ‖ k ‖ nonce, or TAG_DEST_EXT ‖ k ‖ nonce ‖ ext.
     let (dest_key, _) = path.last().expect("non-empty");
-    let mut inner_plain = Vec::with_capacity(1 + 16 + 8);
-    inner_plain.push(TAG_DEST);
+    let dest_ext = ext_of(path.len() - 1);
+    let mut inner_plain = Vec::with_capacity(1 + 16 + 8 + dest_ext.len());
+    inner_plain.push(if dest_ext.is_empty() { TAG_DEST } else { TAG_DEST_EXT });
     inner_plain.extend_from_slice(&key.0);
     inner_plain.extend_from_slice(&nonce.0);
+    inner_plain.extend_from_slice(dest_ext);
     let mut header = hybrid::seal(dest_key, &inner_plain, rng)?.to_bytes();
 
     // Wrap for each mix in reverse order; layer for path[i] names path[i+1].
     for i in (0..path.len() - 1).rev() {
         let (mix_key, _) = &path[i];
         let (_, next_addr) = &path[i + 1];
-        let mut plain = Vec::with_capacity(3 + next_addr.len() + header.len());
-        plain.push(TAG_RELAY);
-        plain.extend_from_slice(&(next_addr.len() as u16).to_be_bytes());
-        plain.extend_from_slice(next_addr);
+        let ext = ext_of(i);
+        let mut plain = Vec::with_capacity(5 + next_addr.len() + ext.len() + header.len());
+        if ext.is_empty() {
+            plain.push(TAG_RELAY);
+            plain.extend_from_slice(&(next_addr.len() as u16).to_be_bytes());
+            plain.extend_from_slice(next_addr);
+        } else {
+            plain.push(TAG_RELAY_EXT);
+            plain.extend_from_slice(&(next_addr.len() as u16).to_be_bytes());
+            plain.extend_from_slice(next_addr);
+            plain.extend_from_slice(&(ext.len() as u16).to_be_bytes());
+            plain.extend_from_slice(ext);
+        }
         plain.extend_from_slice(&header);
         header = hybrid::seal(mix_key, &plain, rng)?.to_bytes();
     }
@@ -138,16 +195,19 @@ pub fn peel(keypair: &KeyPair, header: &[u8]) -> Result<PeelResult, CryptoError>
     let blob = SealedBlob::from_bytes(header)?;
     let plain = hybrid::open(keypair, &blob)?;
     match plain.split_first() {
-        Some((&TAG_DEST, rest)) => {
-            if rest.len() != 24 {
+        Some((&tag @ (TAG_DEST | TAG_DEST_EXT), rest)) => {
+            if rest.len() < 24 || (tag == TAG_DEST && rest.len() != 24) {
                 return Err(CryptoError::MalformedOnion("bad destination layer length"));
             }
             // `payload` here is the raw 24-byte session secret; callers
             // that hold the body should use `peel_with_body`, which turns
             // it into the decrypted content.
-            Ok(PeelResult::Destination { payload: rest.to_vec() })
+            Ok(PeelResult::Destination {
+                payload: rest[..24].to_vec(),
+                ext: rest[24..].to_vec(),
+            })
         }
-        Some((&TAG_RELAY, rest)) => {
+        Some((&tag @ (TAG_RELAY | TAG_RELAY_EXT), rest)) => {
             if rest.len() < 2 {
                 return Err(CryptoError::MalformedOnion("truncated relay layer"));
             }
@@ -156,11 +216,27 @@ pub fn peel(keypair: &KeyPair, header: &[u8]) -> Result<PeelResult, CryptoError>
                 .get(2..2 + addr_len)
                 .ok_or(CryptoError::MalformedOnion("truncated next-hop address"))?
                 .to_vec();
-            let header = rest[2 + addr_len..].to_vec();
+            let mut at = 2 + addr_len;
+            let ext = if tag == TAG_RELAY_EXT {
+                let len_bytes = rest
+                    .get(at..at + 2)
+                    .ok_or(CryptoError::MalformedOnion("truncated extension length"))?;
+                let ext_len = u16::from_be_bytes([len_bytes[0], len_bytes[1]]) as usize;
+                at += 2;
+                let ext = rest
+                    .get(at..at + ext_len)
+                    .ok_or(CryptoError::MalformedOnion("truncated extension"))?
+                    .to_vec();
+                at += ext_len;
+                ext
+            } else {
+                Vec::new()
+            };
+            let header = rest[at..].to_vec();
             if header.is_empty() {
                 return Err(CryptoError::MalformedOnion("missing inner header"));
             }
-            Ok(PeelResult::Relay { next_hop, header })
+            Ok(PeelResult::Relay { next_hop, header, ext })
         }
         _ => Err(CryptoError::MalformedOnion("unknown layer tag")),
     }
@@ -181,13 +257,13 @@ pub fn peel_with_body(
     body: &[u8],
 ) -> Result<PeelResult, CryptoError> {
     match peel(keypair, header)? {
-        PeelResult::Destination { payload: secret } => {
+        PeelResult::Destination { payload: secret, ext } => {
             let mut key = [0u8; 16];
             key.copy_from_slice(&secret[..16]);
             let mut nonce = [0u8; 8];
             nonce.copy_from_slice(&secret[16..24]);
             let payload = Aes128::new(&AesKey(key)).ctr_apply(&CtrNonce(nonce), body);
-            Ok(PeelResult::Destination { payload })
+            Ok(PeelResult::Destination { payload, ext })
         }
         relay => Ok(relay),
     }
@@ -217,17 +293,17 @@ mod tests {
             .collect();
         let packet = build_onion(&path, b"private view exchange", &mut rng).unwrap();
 
-        let PeelResult::Relay { next_hop, header } = peel(&ks[0], &packet.header).unwrap() else {
+        let PeelResult::Relay { next_hop, header, .. } = peel(&ks[0], &packet.header).unwrap() else {
             panic!("A must relay");
         };
         assert_eq!(next_hop, b"B");
 
-        let PeelResult::Relay { next_hop, header } = peel(&ks[1], &header).unwrap() else {
+        let PeelResult::Relay { next_hop, header, .. } = peel(&ks[1], &header).unwrap() else {
             panic!("B must relay");
         };
         assert_eq!(next_hop, b"D");
 
-        let PeelResult::Destination { payload } =
+        let PeelResult::Destination { payload, .. } =
             peel_with_body(&ks[2], &header, &packet.body).unwrap()
         else {
             panic!("D must terminate");
@@ -241,7 +317,7 @@ mod tests {
         let ks = keys(1, &mut rng);
         let path = [(ks[0].public().clone(), b"D".to_vec())];
         let packet = build_onion(&path, b"direct", &mut rng).unwrap();
-        let PeelResult::Destination { payload } =
+        let PeelResult::Destination { payload, .. } =
             peel_with_body(&ks[0], &packet.header, &packet.body).unwrap()
         else {
             panic!()
@@ -266,7 +342,7 @@ mod tests {
 
         // A peels its layer but what it forwards does not reveal D's
         // address or the payload.
-        let PeelResult::Relay { next_hop, header } = peel(&ks[0], &packet.header).unwrap() else {
+        let PeelResult::Relay { next_hop, header, .. } = peel(&ks[0], &packet.header).unwrap() else {
             panic!()
         };
         assert_eq!(next_hop, b"B");
@@ -349,7 +425,7 @@ mod tests {
         let PeelResult::Relay { header, .. } = peel(&ks[0], &packet.header).unwrap() else {
             panic!()
         };
-        let PeelResult::Destination { payload } =
+        let PeelResult::Destination { payload, .. } =
             peel_with_body(&ks[1], &header, &packet.body).unwrap()
         else {
             panic!()

@@ -212,7 +212,7 @@ fn onion_full_walk() {
         let mut header = packet.header.clone();
         for (i, k) in keys.iter().enumerate().take(keys.len() - 1) {
             match peel(k, &header).unwrap() {
-                PeelResult::Relay { next_hop, header: inner } => {
+                PeelResult::Relay { next_hop, header: inner, .. } => {
                     assert_eq!(next_hop, vec![i as u8 + 2]);
                     header = inner;
                 }
@@ -220,7 +220,7 @@ fn onion_full_walk() {
             }
         }
         match peel_with_body(&keys[keys.len() - 1], &header, &packet.body).unwrap() {
-            PeelResult::Destination { payload } => assert_eq!(payload, msg),
+            PeelResult::Destination { payload, .. } => assert_eq!(payload, msg),
             PeelResult::Relay { .. } => panic!("expected destination"),
         }
     });

@@ -118,3 +118,88 @@ fn same_seed_is_byte_identical() {
 fn different_seed_differs() {
     assert_ne!(run_trace(1), run_trace(2), "seed does not influence the trace");
 }
+
+/// Runs the full WHISPER stack — PSS warm-up, then WCL sends that
+/// establish and then ride a cached circuit — and serializes every
+/// deterministic observable: all counters, all sample series *except* the
+/// wall-clock `*_wall_us` secondaries (the one sanctioned
+/// host-dependent output; see DESIGN.md § "Deterministic crypto
+/// accounting"), per-node traffic, and the final clock.
+fn run_stack_trace(seed: u64) -> Vec<u8> {
+    use whisper_core::{WhisperConfig, WhisperNode};
+    use whisper_crypto::rsa::KeyPair;
+    use whisper_rand::rngs::StdRng;
+    use whisper_rand::SeedableRng;
+
+    let cfg = WhisperConfig::default();
+    assert!(cfg.wcl.circuits, "circuit amortization is on by default");
+    let mut keyrng = StdRng::seed_from_u64(seed);
+    let mut sim = Sim::new(SimConfig::cluster(seed));
+    let mk = |boot: bool, keyrng: &mut StdRng| {
+        let mut node = WhisperNode::new(cfg.clone(), KeyPair::generate(cfg.nylon.rsa, keyrng));
+        if !boot {
+            node.nylon_mut().set_bootstrap(vec![NodeId(0), NodeId(1)]);
+        }
+        node
+    };
+    let b0 = sim.add_node(Box::new(mk(true, &mut keyrng)), NatType::Public);
+    let b1 = sim.add_node(Box::new(mk(true, &mut keyrng)), NatType::Public);
+    sim.with_node_ctx::<WhisperNode>(b0, |n, _| n.nylon_mut().set_bootstrap(vec![b1]));
+    sim.with_node_ctx::<WhisperNode>(b1, |n, _| n.nylon_mut().set_bootstrap(vec![b0]));
+    for _ in 0..6 {
+        sim.add_node(Box::new(mk(false, &mut keyrng)), NatType::Public);
+    }
+    let source = sim.add_node(Box::new(mk(false, &mut keyrng)), NatType::RestrictedCone);
+    let dest = sim.add_node(Box::new(mk(false, &mut keyrng)), NatType::PortRestrictedCone);
+    sim.run_for_secs(250);
+
+    let mut dest_info = None;
+    sim.with_node_ctx::<WhisperNode>(dest, |node, _| {
+        node.with_api(|api, _| dest_info = Some(api.my_entry().dest_info()));
+    });
+    let dest_info = dest_info.expect("dest alive");
+    // First send builds the RSA onion and installs the circuit; the rest
+    // ride it, so the trace covers both packet formats.
+    for i in 0..4u8 {
+        sim.with_node_ctx::<WhisperNode>(source, |node, ctx| {
+            node.with_api(|api, _| {
+                api.wcl.send_untracked(ctx, api.nylon, &dest_info, &[b'p', i]);
+            });
+        });
+        sim.run_for_secs(3);
+    }
+
+    let metrics = sim.metrics();
+    assert!(metrics.counter("wcl.circuit_hit") >= 1, "steady-state path exercised");
+    let mut out = Vec::new();
+    for name in metrics.counter_names() {
+        out.extend_from_slice(name.as_bytes());
+        out.extend_from_slice(&metrics.counter(name).to_le_bytes());
+    }
+    for name in metrics.sample_names().filter(|n| !n.ends_with("_wall_us")) {
+        out.extend_from_slice(name.as_bytes());
+        for v in metrics.samples(name) {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    for (node, traffic) in metrics.traffic_snapshot() {
+        out.extend_from_slice(&node.0.to_le_bytes());
+        out.extend_from_slice(&traffic.up_msgs.to_le_bytes());
+        out.extend_from_slice(&traffic.down_msgs.to_le_bytes());
+        out.extend_from_slice(&traffic.up_bytes.to_le_bytes());
+        out.extend_from_slice(&traffic.down_bytes.to_le_bytes());
+    }
+    out.extend_from_slice(&sim.now().as_micros().to_le_bytes());
+    out
+}
+
+/// Two same-seed full-stack runs with circuits enabled are byte-identical
+/// — the circuit tables, eviction order, nonce chains and crypto-cost
+/// model all feed only from the seed.
+#[test]
+fn full_stack_with_circuits_is_byte_identical() {
+    let a = run_stack_trace(0xC1AC_0137);
+    let b = run_stack_trace(0xC1AC_0137);
+    assert_eq!(a.len(), b.len(), "stack trace lengths diverged");
+    assert!(a == b, "same-seed circuit-enabled runs are not byte-identical");
+}

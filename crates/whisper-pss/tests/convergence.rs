@@ -233,10 +233,7 @@ fn pss_survives_scripted_churn() {
     use whisper_net::{SimDuration, SimTime};
 
     let cfg = NylonConfig::default();
-    let (mut sim, ids) = {
-        let net = build_network(80, 2, &cfg, SimConfig::cluster(90), 250);
-        net
-    };
+    let (mut sim, ids) = build_network(80, 2, &cfg, SimConfig::cluster(90), 250);
     let bootstraps = [ids[0], ids[1]];
     let script = ChurnScript {
         phases: vec![ChurnPhase::ConstChurn {

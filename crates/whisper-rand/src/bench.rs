@@ -39,10 +39,12 @@ const TARGET_SAMPLE: Duration = Duration::from_millis(10);
 /// Default number of timed samples per benchmark.
 const DEFAULT_SAMPLES: usize = 20;
 
-/// Top-level harness: owns the CLI filter and prints one line per
-/// benchmark.
+/// Top-level harness: owns the CLI filter, prints one line per benchmark,
+/// and records each benchmark's median for machine-readable export.
 pub struct Bench {
     filter: Option<String>,
+    /// `(full id, median ns/iter)` for every benchmark that ran.
+    results: Vec<(String, f64)>,
 }
 
 impl Bench {
@@ -53,12 +55,12 @@ impl Bench {
     /// binaries, like `--bench`, are ignored).
     pub fn from_args() -> Bench {
         let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
-        Bench { filter }
+        Bench { filter, results: Vec::new() }
     }
 
     /// A harness that runs everything (no filter).
     pub fn new() -> Bench {
-        Bench { filter: None }
+        Bench { filter: None, results: Vec::new() }
     }
 
     /// Opens a named benchmark group.
@@ -70,6 +72,77 @@ impl Bench {
             throughput: None,
         }
     }
+
+    /// Median ns/iter of an already-run benchmark, by exact full id
+    /// (`group/name`). `None` if it did not run (e.g. filtered out).
+    pub fn median_of(&self, full_id: &str) -> Option<f64> {
+        self.results.iter().find(|(id, _)| id == full_id).map(|(_, m)| *m)
+    }
+
+    /// Records a derived value (e.g. a speedup ratio computed from two
+    /// medians) so it lands in the [`Bench::emit_json`] output alongside
+    /// the measured benchmarks.
+    pub fn record(&mut self, full_id: impl Into<String>, value: f64) {
+        self.results.push((full_id.into(), value));
+    }
+
+    /// Writes every recorded median to the JSON file named by the
+    /// `WHISPER_BENCH_JSON` environment variable (no-op when unset).
+    ///
+    /// The format is a flat object, `{"group/name": median_ns, ...}`,
+    /// sorted by key. An existing file is merged into (this run's ids
+    /// win), so the two bench binaries — and filtered re-runs — can
+    /// accumulate into one file.
+    pub fn emit_json(&self) {
+        let Ok(path) = std::env::var("WHISPER_BENCH_JSON") else {
+            return;
+        };
+        if path.is_empty() {
+            return;
+        }
+        let mut merged: Vec<(String, f64)> = std::fs::read_to_string(&path)
+            .map(|s| parse_flat_json(&s))
+            .unwrap_or_default();
+        for (id, median) in &self.results {
+            match merged.iter_mut().find(|(k, _)| k == id) {
+                Some(slot) => slot.1 = *median,
+                None => merged.push((id.clone(), *median)),
+            }
+        }
+        merged.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut out = String::from("{\n");
+        for (i, (id, median)) in merged.iter().enumerate() {
+            let comma = if i + 1 < merged.len() { "," } else { "" };
+            out.push_str(&format!("  \"{id}\": {median:.1}{comma}\n"));
+        }
+        out.push_str("}\n");
+        if let Err(e) = std::fs::write(&path, out) {
+            eprintln!("warning: could not write {path}: {e}");
+        } else {
+            println!("bench medians written to {path}");
+        }
+    }
+}
+
+/// Parses the flat `{"id": number, ...}` JSON this module writes. Only
+/// has to understand its own output — string keys without escapes, plain
+/// numbers — so a line scanner is enough; anything else is skipped.
+fn parse_flat_json(s: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in s.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some((key, value)) = line.split_once(':') else {
+            continue;
+        };
+        let key = key.trim();
+        if key.len() < 2 || !key.starts_with('"') || !key.ends_with('"') {
+            continue;
+        }
+        if let Ok(v) = value.trim().parse::<f64>() {
+            out.push((key[1..key.len() - 1].to_string(), v));
+        }
+    }
+    out
 }
 
 impl Default for Bench {
@@ -151,6 +224,8 @@ impl BenchGroup<'_> {
         let min = per_iter[0];
         let max = *per_iter.last().expect("samples >= 2");
         let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        let median = per_iter[per_iter.len() / 2];
+        self.bench.results.push((full.clone(), median));
 
         let thrpt = match self.throughput {
             Some(Throughput::Bytes(n)) => {
@@ -253,7 +328,7 @@ mod tests {
 
     #[test]
     fn filter_skips_nonmatching() {
-        let mut bench = Bench { filter: Some("nomatch".into()) };
+        let mut bench = Bench { filter: Some("nomatch".into()), results: Vec::new() };
         let mut g = bench.group("selftest");
         let mut ran = false;
         g.bench_function("skipped", |b| {
@@ -261,5 +336,25 @@ mod tests {
             b.iter(|| 1)
         });
         assert!(!ran, "filtered benchmark must not run");
+        assert!(bench.median_of("selftest/skipped").is_none());
+    }
+
+    #[test]
+    fn medians_are_recorded() {
+        let mut bench = Bench::new();
+        let mut g = bench.group("selftest");
+        g.sample_size(3);
+        g.bench_function("spin", |b| b.iter(|| std::hint::black_box(1 + 1)));
+        g.finish();
+        let median = bench.median_of("selftest/spin").expect("benchmark ran");
+        assert!(median > 0.0);
+        assert!(bench.median_of("selftest/other").is_none());
+    }
+
+    #[test]
+    fn flat_json_round_trips() {
+        let parsed = parse_flat_json("{\n  \"a/b\": 12.5,\n  \"c/d\": 3.0\n}\n");
+        assert_eq!(parsed, vec![("a/b".to_string(), 12.5), ("c/d".to_string(), 3.0)]);
+        assert!(parse_flat_json("not json at all").is_empty());
     }
 }

@@ -38,7 +38,7 @@ use std::panic::{self, AssertUnwindSafe};
 
 /// Default base seed ("WHSPR" in hex-speak); override with the
 /// `WHISPER_CHECK_SEED` environment variable.
-const DEFAULT_SEED: u64 = 0x5748_5350_52;
+const DEFAULT_SEED: u64 = 0x0057_4853_5052;
 
 /// Cap on property re-executions spent shrinking one failure.
 const SHRINK_BUDGET: usize = 2_000;

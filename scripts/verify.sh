@@ -16,6 +16,9 @@ cargo build --release --offline --workspace --all-targets
 echo "==> offline test suite (whole workspace)"
 cargo test -q --offline --workspace
 
+echo "==> clippy clean (all targets, warnings are errors)"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
 echo "==> rustdoc builds clean (no warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace --quiet
 

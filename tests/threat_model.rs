@@ -104,7 +104,7 @@ fn mix_cannot_link_source_and_destination() {
     let packet = build_onion(&path, b"payload", &mut rng).unwrap();
 
     // A sees the next hop (B) but cannot peel further to find D.
-    let PeelResult::Relay { next_hop, header } = peel(&a, &packet.header).unwrap() else {
+    let PeelResult::Relay { next_hop, header, .. } = peel(&a, &packet.header).unwrap() else {
         panic!()
     };
     assert_eq!(next_hop, b"BBBBBBBB\0");
@@ -117,6 +117,73 @@ fn mix_cannot_link_source_and_destination() {
     assert!(!header
         .windows(16)
         .any(|w| packet.header.windows(16).any(|o| o == w)));
+}
+
+/// Relationship anonymity on the *steady-state* circuit path: once a
+/// circuit is cached, packets carry only `(cid, nonce, body)`. Every one
+/// of those three fields changes across each hop — circuit ids are
+/// per-hop local, the nonce advances through a hash chain, and the body
+/// loses one CTR layer — so an observer of two links (or a compromised
+/// mix watching both its sides) cannot match an incoming circuit packet
+/// to an outgoing one by content, same as for the RSA onion it replaces.
+#[test]
+fn circuit_packets_unlinkable_across_hops() {
+    use whisper::crypto::aes::CtrNonce;
+    use whisper::crypto::circuit::{self, HopSetup};
+
+    let mut rng = StdRng::seed_from_u64(6);
+    let (source, setups) = circuit::establish(3, &mut rng);
+    let payload = vec![0u8; 512]; // worst case: all-zero plaintext
+    let nonce0 = CtrNonce::random(&mut rng);
+    let sealed = circuit::seal_layers(&source.keys, &nonce0, &payload);
+
+    // Reconstruct what each link carries: (cid, nonce, body) per hop.
+    let mut links = Vec::new();
+    let mut nonce = nonce0;
+    let mut body = sealed;
+    for setup in &setups {
+        links.push((setup.cid_in, nonce, body.clone()));
+        body = circuit::peel_layer(&setup.key, &nonce, &body);
+        nonce = circuit::next_nonce(&nonce);
+    }
+    assert_eq!(body, payload, "destination recovers the plaintext");
+
+    for pair in links.windows(2) {
+        let ((cid_a, nonce_a, body_a), (cid_b, nonce_b, body_b)) = (&pair[0], &pair[1]);
+        // All three visible fields change between adjacent links.
+        assert_ne!(cid_a, cid_b, "circuit ids are per-hop local");
+        assert_ne!(nonce_a.0, nonce_b.0, "the nonce chain advances");
+        assert!(
+            !body_a
+                .windows(16)
+                .any(|w| body_b.windows(16).any(|o| o == w)),
+            "bodies share ciphertext across a hop"
+        );
+        // And the whole packets share no window either (cid ‖ nonce ‖ body
+        // as it would sit in a datagram).
+        let flat = |cid: &circuit::CircuitId, n: &CtrNonce, b: &[u8]| {
+            let mut v = cid.0.to_vec();
+            v.extend_from_slice(&n.0);
+            v.extend_from_slice(b);
+            v
+        };
+        let wire_a = flat(cid_a, nonce_a, body_a);
+        let wire_b = flat(cid_b, nonce_b, body_b);
+        assert!(
+            !wire_a
+                .windows(8)
+                .any(|w| wire_b.windows(8).any(|o| o == w)),
+            "adjacent links share an 8-byte window"
+        );
+    }
+
+    // A mix also learns nothing about the far end from its setup record:
+    // the relay encoding carries only local ids and its own link key.
+    for setup in &setups[..2] {
+        let enc = setup.encode();
+        assert_eq!(enc.len(), circuit::RELAY_SETUP_LEN);
+        assert_eq!(HopSetup::decode(&enc).unwrap().cid_in, setup.cid_in);
+    }
 }
 
 /// Membership privacy, active probe: a non-member replays bytes it could
