@@ -1,9 +1,16 @@
 //! Binary wrapper; see `whisper_bench::experiments::table1`.
-//! Pass `--quick` for a fast smoke-test configuration.
+//! Pass `--quick` for a fast smoke-test configuration, `--faults` to run
+//! only the fault-plan extension (burst loss / partition, adaptive vs.
+//! fixed RTO; medians land in `WHISPER_BENCH_JSON` when set).
 
 use whisper_bench::experiments::{self, table1};
 
 fn main() {
-    let params = if experiments::quick_flag() { table1::Params::quick() } else { table1::Params::paper() };
-    table1::run(&params);
+    let quick = experiments::quick_flag();
+    let faults_only = std::env::args().any(|a| a == "--faults");
+    if !faults_only {
+        let params = if quick { table1::Params::quick() } else { table1::Params::paper() };
+        table1::run(&params);
+    }
+    table1::run_fault_scenarios(quick, 7);
 }

@@ -172,6 +172,56 @@ fn extract_ratios(net: &WhisperNet) -> Ratios {
     }
 }
 
+/// Fault-plan extension (PR 4): route availability under scripted burst
+/// loss and partitions, with the adaptive RTO against the paper's fixed
+/// 2 s retry timer. Records delivery ratio (percent) and mean
+/// route-repair latency (milliseconds) per `(scenario, timer)` cell into
+/// the `WHISPER_BENCH_JSON` merge file under `chaos/...` ids.
+pub fn run_fault_scenarios(quick: bool, seed: u64) {
+    use crate::chaos::{run_scenario, ChaosParams, Scenario};
+    use whisper_rand::bench::Bench;
+
+    report::banner(
+        "Table I ext.",
+        "delivery + route repair under scripted faults (adaptive vs. fixed RTO)",
+    );
+    let base = if quick { ChaosParams::smoke(seed) } else { ChaosParams::full(seed) };
+    println!(
+        "nodes={} groups={} fault window={}s seed={}",
+        base.nodes, base.groups, base.fault_len, base.seed
+    );
+    println!(
+        "{:<14} {:>10} {:>12} {:>14} {:>10}",
+        "scenario", "timer", "delivery", "repair (ms)", "repairs"
+    );
+    let mut bench = Bench::new();
+    for scenario in [Scenario::BurstLoss, Scenario::Partition] {
+        for adaptive in [true, false] {
+            let params = ChaosParams { adaptive_rto: adaptive, ..base.clone() };
+            let out = run_scenario(scenario, &params);
+            assert_eq!(
+                out.unattributed, 0,
+                "{}: unattributed drops in bench run",
+                scenario.name()
+            );
+            let timer = if adaptive { "adaptive" } else { "fixed" };
+            println!(
+                "{:<14} {:>10} {:>11.1}% {:>14.1} {:>10}",
+                scenario.name(),
+                timer,
+                out.delivery_ratio() * 100.0,
+                out.repair_mean_s() * 1e3,
+                out.repair_s.len()
+            );
+            let id = |metric: &str| format!("chaos/{}_{}_{}", scenario.name(), timer, metric);
+            bench.record(id("delivery_pct"), out.delivery_ratio() * 100.0);
+            bench.record(id("repair_ms"), out.repair_mean_s() * 1e3);
+            bench.record(id("repairs"), out.repair_s.len() as f64);
+        }
+    }
+    bench.emit_json();
+}
+
 /// Runs the experiment and prints Table I.
 pub fn run(params: &Params) {
     report::banner("Table I", "WCL route construction success under churn");

@@ -21,6 +21,7 @@
 //! This library holds the shared scaffolding: deterministic population
 //! builders, group formation, bandwidth reporting and plot-style output.
 
+pub mod chaos;
 pub mod experiments;
 pub mod harness;
 pub mod report;

@@ -71,6 +71,22 @@ impl WhisperApi<'_> {
             .send_app(ctx, self.nylon, self.wcl, group, to, data, with_reply_entry)
     }
 
+    /// Sends application bytes confidentially to a group member, tracked
+    /// through the WCL retry machinery. Returns the message id the app
+    /// must resolve via [`Wcl::notify_response`] when its answer arrives,
+    /// or `None` when no route could be built.
+    pub fn send_private_tracked(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        group: GroupId,
+        to: NodeId,
+        data: Vec<u8>,
+        with_reply_entry: bool,
+    ) -> Option<u64> {
+        self.ppss
+            .send_app_tracked(ctx, self.nylon, self.wcl, group, to, data, with_reply_entry)
+    }
+
     /// Sends application bytes to an explicit entry (reply pattern).
     pub fn send_private_to_entry(
         &mut self,
@@ -278,6 +294,16 @@ impl Protocol for WhisperNode {
         let WhisperNode { nylon, wcl, ppss, app } = self;
         let mut api = WhisperApi { nylon, wcl, ppss };
         app.on_start(ctx, &mut api);
+    }
+
+    fn on_crash_restart(&mut self, ctx: &mut Ctx<'_>) {
+        // Volatile state is gone: WCL pending sends, routes and circuits,
+        // the Nylon view and NAT session state. Group membership and the
+        // bootstrap list survive (on-disk configuration), so the node
+        // re-converges through its deferred gossip and PPSS cycle timers.
+        self.wcl.on_restart(ctx);
+        self.nylon.on_restart(ctx);
+        self.ppss.on_restart();
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, from_ep: Endpoint, data: &[u8]) {

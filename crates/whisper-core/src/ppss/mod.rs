@@ -435,6 +435,39 @@ impl Ppss {
         wcl.send_untracked(ctx, nylon, &entry.dest_info(), &msg.to_wire())
     }
 
+    /// Like [`Ppss::send_app`], but tracked through the WCL retry
+    /// machinery: on success returns the message id, which the caller
+    /// must resolve via [`Wcl::notify_response`] once the application's
+    /// answer arrives (request/response apps and the chaos harness use
+    /// this to measure end-to-end delivery).
+    #[allow(clippy::too_many_arguments)]
+    pub fn send_app_tracked(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        nylon: &mut NylonCore,
+        wcl: &mut Wcl,
+        group: GroupId,
+        to: NodeId,
+        data: Vec<u8>,
+        with_reply_entry: bool,
+    ) -> Option<u64> {
+        let my_entry = with_reply_entry.then(|| self.my_entry(nylon));
+        let state = self.groups.get(&group)?;
+        let entry = state
+            .pcp
+            .get(&to)
+            .or_else(|| state.view.iter().find(|e| e.node == to))?;
+        let msg = PpssMsg::AppData {
+            group,
+            passport: state.passport.clone(),
+            data,
+            reply_entry: my_entry,
+        };
+        let msg_id = wcl.alloc_msg_id();
+        wcl.send(ctx, nylon, &entry.dest_info(), msg.to_wire(), msg_id)
+            .then_some(msg_id)
+    }
+
     /// Sends application bytes to an explicit entry (e.g. one shipped in
     /// a query for the reply, the §V-G T-Chord pattern).
     #[allow(clippy::too_many_arguments)]
@@ -582,6 +615,23 @@ impl Ppss {
                 ctx.metrics().count("ppss.pcp_refreshes", 1);
                 wcl.send_untracked(ctx, nylon, &target.dest_info(), &msg.to_wire());
             }
+        }
+    }
+
+    /// Clears in-flight exchange state after a crash-restart.
+    ///
+    /// Group membership, passports and private views are modeled as
+    /// durable (the node's on-disk configuration); only the per-cycle
+    /// `outstanding` trackers and pending-join message ids are volatile.
+    /// The WCL drops its pending table on restart, so any msg ids still
+    /// referenced here would never resolve — resetting them lets the next
+    /// PPSS cycle retry from scratch.
+    pub fn on_restart(&mut self) {
+        for state in self.groups.values_mut() {
+            state.outstanding = None;
+        }
+        for pending in self.pending_joins.values_mut() {
+            pending.msg_id = None;
         }
     }
 

@@ -39,7 +39,7 @@ use whisper_crypto::onion::{self, PeelResult};
 use whisper_crypto::rsa::PublicKey;
 use whisper_net::sim::Ctx;
 use whisper_net::wire::{WireDecode, WireEncode, WireError, WireReader, WireWriter};
-use whisper_net::{NodeId, SimDuration};
+use whisper_net::{NodeId, SimDuration, SimTime};
 use whisper_pss::transport::SendOutcome;
 use whisper_pss::NylonCore;
 
@@ -134,6 +134,31 @@ pub struct WclConfig {
     pub circuit_ttl: SimDuration,
     /// Maximum circuits a relay stores (oldest evicted first).
     pub circuit_capacity: usize,
+    /// Adaptive retransmission timeout (Jacobson/Karn): per-destination
+    /// `srtt + 4·rttvar` with exponential backoff and deterministic
+    /// jitter. When `false`, every retry waits exactly `retry_timeout`
+    /// (the paper's fixed timer); `retry_timeout` also seeds the RTO for
+    /// destinations with no RTT sample yet.
+    pub adaptive_rto: bool,
+    /// Lower clamp on the adaptive RTO (guards against a few lucky fast
+    /// RTTs producing a hair-trigger timer).
+    pub rto_min: SimDuration,
+    /// Upper clamp on the adaptive RTO, including backoff.
+    pub rto_max: SimDuration,
+    /// Relay suspicion score above which [`Wcl`] steers path construction
+    /// away from a relay while healthier candidates exist. `0.0` disables
+    /// the health tracker.
+    pub suspicion_threshold: f64,
+    /// Half-life of relay suspicion decay: a relay implicated in a failed
+    /// route is forgiven exponentially as evidence ages.
+    pub suspicion_half_life: SimDuration,
+    /// Consecutive unanswered attempts towards one destination before the
+    /// WCL degrades that destination from circuit packets to
+    /// RSA-onion-per-packet (`0` disables degradation).
+    pub degrade_after: u32,
+    /// How long a degraded destination stays degraded without a
+    /// successful response before circuit amortization is re-enabled.
+    pub degrade_cooldown: SimDuration,
 }
 
 impl Default for WclConfig {
@@ -145,6 +170,13 @@ impl Default for WclConfig {
             circuits: true,
             circuit_ttl: SimDuration::from_secs(120),
             circuit_capacity: 1024,
+            adaptive_rto: true,
+            rto_min: SimDuration::from_millis(250),
+            rto_max: SimDuration::from_secs(10),
+            suspicion_threshold: 1.5,
+            suspicion_half_life: SimDuration::from_secs(60),
+            degrade_after: 4,
+            degrade_cooldown: SimDuration::from_secs(60),
         }
     }
 }
@@ -244,6 +276,59 @@ struct PendingSend {
     sent_at: whisper_net::SimTime,
 }
 
+/// Per-destination smoothed RTT state (Jacobson's algorithm, the same
+/// EWMA every production transport uses). Units are seconds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct RttEstimate {
+    srtt: f64,
+    rttvar: f64,
+}
+
+impl RttEstimate {
+    /// Seeds the estimator from the first sample (RFC 6298 §2.2).
+    fn first(rtt: f64) -> Self {
+        RttEstimate { srtt: rtt, rttvar: rtt / 2.0 }
+    }
+
+    /// Folds in a subsequent sample (RFC 6298 §2.3: β = 1/4, α = 1/8).
+    fn update(&mut self, rtt: f64) {
+        self.rttvar = 0.75 * self.rttvar + 0.25 * (self.srtt - rtt).abs();
+        self.srtt = 0.875 * self.srtt + 0.125 * rtt;
+    }
+
+    /// The retransmission timeout this estimate implies, before clamping
+    /// and backoff.
+    fn rto_secs(&self) -> f64 {
+        self.srtt + 4.0 * self.rttvar
+    }
+}
+
+/// Base RTO with exponential backoff: clamp to `[min_us, max_us]`, then
+/// double per failed attempt (attempt 1 = no backoff), capped at
+/// `max_us`. Pure so the arithmetic is unit-testable without a sim.
+fn rto_backoff_us(base_us: u64, attempts: usize, min_us: u64, max_us: u64) -> u64 {
+    let clamped = base_us.clamp(min_us, max_us.max(min_us));
+    let shift = attempts.saturating_sub(1).min(16) as u32;
+    clamped.saturating_mul(1u64 << shift).min(max_us.max(min_us))
+}
+
+/// A relay's suspicion score plus when it was last touched; the effective
+/// score decays exponentially from `updated`.
+#[derive(Clone, Copy, Debug)]
+struct Suspicion {
+    score: f64,
+    updated: SimTime,
+}
+
+/// Exponentially decayed suspicion score.
+fn decayed_score(score: f64, updated: SimTime, now: SimTime, half_life: SimDuration) -> f64 {
+    if half_life == SimDuration::ZERO {
+        return score;
+    }
+    let elapsed = now.since(updated).as_secs_f64();
+    score * 0.5_f64.powf(elapsed / half_life.as_secs_f64())
+}
+
 /// The source's cached route to one destination: the circuit keys, where
 /// to inject packets, and which mixes the route runs through (needed so
 /// retries can avoid them).
@@ -264,6 +349,18 @@ pub struct Wcl {
     routes: BTreeMap<NodeId, CachedRoute>,
     /// Relay/destination side: circuits this node carries.
     circuits: CircuitTable,
+    /// Per-destination smoothed RTT (Karn-filtered: only first-attempt
+    /// responses feed it).
+    rtt: BTreeMap<NodeId, RttEstimate>,
+    /// Cross-message relay health: relays implicated in unanswered routes
+    /// accumulate suspicion that decays over time.
+    health: BTreeMap<NodeId, Suspicion>,
+    /// Consecutive unanswered attempts per destination (drives
+    /// degradation).
+    fail_streak: BTreeMap<NodeId, u32>,
+    /// Destinations currently degraded to RSA-onion-per-packet, with the
+    /// instant the degradation lapses.
+    degraded_until: BTreeMap<NodeId, SimTime>,
 }
 
 impl std::fmt::Debug for Wcl {
@@ -281,7 +378,35 @@ impl Wcl {
     pub fn new(cfg: WclConfig) -> Self {
         assert!(cfg.mixes >= 1, "at least one mix required");
         let circuits = CircuitTable::new(cfg.circuit_capacity.max(1), cfg.circuit_ttl.as_micros());
-        Wcl { cfg, pending: HashMap::new(), next_msg_id: 1, routes: BTreeMap::new(), circuits }
+        Wcl {
+            cfg,
+            pending: HashMap::new(),
+            next_msg_id: 1,
+            routes: BTreeMap::new(),
+            circuits,
+            rtt: BTreeMap::new(),
+            health: BTreeMap::new(),
+            fail_streak: BTreeMap::new(),
+            degraded_until: BTreeMap::new(),
+        }
+    }
+
+    /// Models a process restart with full volatile-state loss: pending
+    /// sends, cached routes, carried circuits, RTT estimates, relay
+    /// health and degradation state all vanish. Invoked from
+    /// `WhisperNode::on_crash_restart` when a scripted
+    /// [`whisper_net::fault::Fault::CrashRestart`] brings the node back.
+    pub fn on_restart(&mut self, ctx: &mut Ctx<'_>) {
+        if !self.pending.is_empty() {
+            ctx.metrics().count("wcl.restart_pending_dropped", self.pending.len() as u64);
+        }
+        self.pending.clear();
+        self.routes.clear();
+        self.circuits.clear();
+        self.rtt.clear();
+        self.health.clear();
+        self.fail_streak.clear();
+        self.degraded_until.clear();
     }
 
     /// Drops all circuit state — the relay table and any cached source
@@ -360,23 +485,73 @@ impl Wcl {
                 sent_at: ctx.now(),
             },
         );
-        ctx.set_timer(self.cfg.retry_timeout, retry_token(msg_id));
+        let delay = self.retry_delay(ctx, dest.node, 1);
+        ctx.set_timer(delay, retry_token(msg_id));
         true
     }
 
+    /// The retransmission timeout for the next attempt towards `dest`.
+    ///
+    /// Fixed mode returns `retry_timeout` unchanged (and draws no
+    /// randomness, so pre-existing traces replay identically). Adaptive
+    /// mode computes `srtt + 4·rttvar` (seeded from `retry_timeout` when
+    /// no sample exists), clamps to `[rto_min, rto_max]`, doubles per
+    /// failed attempt, and applies ±12.5% deterministic jitter from the
+    /// sim RNG so synchronized failures do not retry in lockstep.
+    fn retry_delay(&self, ctx: &mut Ctx<'_>, dest: NodeId, attempts: usize) -> SimDuration {
+        if !self.cfg.adaptive_rto {
+            return self.cfg.retry_timeout;
+        }
+        let base_us = self
+            .rtt
+            .get(&dest)
+            .map(|e| (e.rto_secs() * 1e6) as u64)
+            .unwrap_or_else(|| self.cfg.retry_timeout.as_micros());
+        let backed = rto_backoff_us(
+            base_us,
+            attempts,
+            self.cfg.rto_min.as_micros(),
+            self.cfg.rto_max.as_micros(),
+        );
+        let jitter = ctx.rng().gen_range(0..(backed / 4).max(1));
+        let us = backed - backed / 8 + jitter;
+        ctx.metrics().sample("wcl.rto_s", us as f64 / 1e6);
+        SimDuration::from_micros(us)
+    }
+
     /// Tells the WCL that the request behind `msg_id` got its answer;
-    /// updates the Table I counters.
+    /// updates the Table I counters, the RTT estimator (Karn's rule:
+    /// only first-attempt responses are unambiguous) and the relay
+    /// health / degradation state for the route that worked.
     pub fn notify_response(&mut self, ctx: &mut Ctx<'_>, msg_id: u64) {
         if let Some(p) = self.pending.remove(&msg_id) {
-            if p.attempts <= 1 {
-                ctx.metrics().count("wcl.route_first_success", 1);
-            } else {
-                ctx.metrics().count("wcl.route_alt_success", 1);
-            }
             // Fig. 7's "total rtt": request out, answer back, in
             // simulated seconds.
             let rtt = ctx.now().since(p.sent_at).as_secs_f64();
             ctx.metrics().sample("wcl.rtt_s", rtt);
+            if p.attempts <= 1 {
+                ctx.metrics().count("wcl.route_first_success", 1);
+                self.rtt
+                    .entry(p.dest.node)
+                    .and_modify(|e| e.update(rtt))
+                    .or_insert_with(|| RttEstimate::first(rtt));
+            } else {
+                ctx.metrics().count("wcl.route_alt_success", 1);
+                // Route-repair latency: first attempt out → answer over
+                // the repaired path back.
+                ctx.metrics().sample("wcl.repair_s", rtt);
+            }
+            // The relays that carried the answered attempt are healthy.
+            if let Some(&a) = p.used_first_mixes.last() {
+                self.health.remove(&a);
+            }
+            if let Some(&b) = p.used_gateways.last() {
+                self.health.remove(&b);
+            }
+            self.fail_streak.remove(&p.dest.node);
+            if self.degraded_until.remove(&p.dest.node).is_some() {
+                ctx.metrics().count("wcl.degraded_exit", 1);
+            }
         }
     }
 
@@ -395,11 +570,33 @@ impl Wcl {
     ) -> Option<WclEvent> {
         let msg_id = msg_id_of_token(token);
         let mut p = self.pending.remove(&msg_id)?;
+        let now = ctx.now();
         // The unanswered route is suspect — a relay may have lost its
         // circuit state or a link may have died — so tear down the cached
         // circuit before (re)building: the retry must not reuse it.
         if self.routes.remove(&p.dest.node).is_some() {
             ctx.metrics().count("wcl.circuit_teardown", 1);
+        }
+        // Implicate the relays of the unanswered attempt: their suspicion
+        // biases future path construction away from them until it decays.
+        if let Some(&a) = p.used_first_mixes.last() {
+            self.penalize_relay(ctx, a, now);
+        }
+        if let Some(&b) = p.used_gateways.last() {
+            self.penalize_relay(ctx, b, now);
+        }
+        // Degradation ladder: after `degrade_after` consecutive
+        // unanswered attempts the destination falls back from circuit
+        // packets to RSA-onion-per-packet — a relay that keeps losing
+        // circuit state cannot hurt a route that carries no circuit.
+        let streak = self.fail_streak.entry(p.dest.node).or_insert(0);
+        *streak += 1;
+        if self.cfg.degrade_after > 0
+            && *streak >= self.cfg.degrade_after
+            && !self.degraded(p.dest.node, now)
+        {
+            self.degraded_until.insert(p.dest.node, now + self.cfg.degrade_cooldown);
+            ctx.metrics().count("wcl.degraded_enter", 1);
         }
         if p.attempts > self.cfg.max_retries {
             ctx.metrics().count("wcl.route_exhausted", 1);
@@ -423,8 +620,11 @@ impl Wcl {
                 p.attempts += 1;
                 p.used_first_mixes.push(a);
                 p.used_gateways.push(b);
+                let attempts = p.attempts;
+                let dest = p.dest.node;
                 self.pending.insert(msg_id, p);
-                ctx.set_timer(self.cfg.retry_timeout, retry_token(msg_id));
+                let delay = self.retry_delay(ctx, dest, attempts);
+                ctx.set_timer(delay, retry_token(msg_id));
                 None
             }
             None => {
@@ -436,6 +636,39 @@ impl Wcl {
                 })
             }
         }
+    }
+
+    /// Bumps `relay`'s suspicion score (decayed first, then +1).
+    fn penalize_relay(&mut self, ctx: &mut Ctx<'_>, relay: NodeId, now: SimTime) {
+        let half_life = self.cfg.suspicion_half_life;
+        let s = self.health.entry(relay).or_insert(Suspicion { score: 0.0, updated: now });
+        s.score = decayed_score(s.score, s.updated, now, half_life) + 1.0;
+        s.updated = now;
+        ctx.metrics().count("wcl.relay_suspected", 1);
+    }
+
+    /// The current (decayed) suspicion score of `relay`.
+    pub fn relay_suspicion(&self, relay: NodeId, now: SimTime) -> f64 {
+        self.health
+            .get(&relay)
+            .map(|s| decayed_score(s.score, s.updated, now, self.cfg.suspicion_half_life))
+            .unwrap_or(0.0)
+    }
+
+    /// Whether `dest` is currently degraded to RSA-onion-per-packet.
+    pub fn degraded(&self, dest: NodeId, now: SimTime) -> bool {
+        self.degraded_until.get(&dest).is_some_and(|&until| until > now)
+    }
+
+    /// Whether a cached circuit route to `dest` exists (test hook).
+    pub fn has_cached_route(&self, dest: NodeId) -> bool {
+        self.routes.contains_key(&dest)
+    }
+
+    /// The adaptive RTO estimate for `dest` in seconds, if any RTT sample
+    /// has been taken (test/diagnostic hook; unclamped, no backoff).
+    pub fn rto_estimate_secs(&self, dest: NodeId) -> Option<f64> {
+        self.rtt.get(&dest).map(|e| e.rto_secs())
     }
 
     /// Builds a path avoiding `avoid_a` / `avoid_b` and sends. Returns the
@@ -452,10 +685,26 @@ impl Wcl {
         let me = nylon.id();
         let now = ctx.now();
 
+        // Degradation ladder: a destination with repeated circuit rebuild
+        // failures rides plain RSA onions (no fast path, no circuit
+        // establishment) until a response arrives or the cooldown lapses.
+        let degraded = match self.degraded_until.get(&dest.node) {
+            Some(&until) if until > now => {
+                ctx.metrics().count("wcl.degraded_send", 1);
+                true
+            }
+            Some(_) => {
+                self.degraded_until.remove(&dest.node);
+                self.fail_streak.remove(&dest.node);
+                false
+            }
+            None => false,
+        };
+
         // Steady-state fast path: a cached circuit carries the packet with
         // three CTR layers and zero RSA. Skipped when a retry is steering
         // away from specific mixes — those want a *different* path.
-        if self.cfg.circuits && avoid_a.is_empty() && avoid_b.is_empty() {
+        if self.cfg.circuits && !degraded && avoid_a.is_empty() && avoid_b.is_empty() {
             let cached = self
                 .routes
                 .get(&dest.node)
@@ -531,6 +780,33 @@ impl Wcl {
             .map(|e| (e.node, e.public, e.key.clone().expect("filtered")))
             .collect();
 
+        // Relay health bias: while healthier candidates exist, drop the
+        // ones whose decayed suspicion exceeds the threshold. Never
+        // empties a candidate list — a suspect relay beats no relay.
+        if self.cfg.suspicion_threshold > 0.0 {
+            let threshold = self.cfg.suspicion_threshold;
+            let healthy_b: Vec<GatewayInfo> = b_candidates
+                .iter()
+                .filter(|g| self.relay_suspicion(g.node, now) < threshold)
+                .cloned()
+                .collect();
+            if !healthy_b.is_empty() && healthy_b.len() < b_candidates.len() {
+                ctx.metrics()
+                    .count("wcl.relay_avoided", (b_candidates.len() - healthy_b.len()) as u64);
+                b_candidates = healthy_b;
+            }
+            let healthy_a: Vec<(NodeId, bool, PublicKey)> = a_candidates
+                .iter()
+                .filter(|(n, _, _)| self.relay_suspicion(*n, now) < threshold)
+                .cloned()
+                .collect();
+            if !healthy_a.is_empty() && healthy_a.len() < a_candidates.len() {
+                ctx.metrics()
+                    .count("wcl.relay_avoided", (a_candidates.len() - healthy_a.len()) as u64);
+                a_candidates = healthy_a;
+            }
+        }
+
         // Mixes must be distinct: drop A candidates equal to the chosen B
         // later; choose B first for simplicity.
         let b = {
@@ -572,8 +848,9 @@ impl Wcl {
         let build_started = std::time::Instant::now();
         // With circuits enabled the onion doubles as circuit
         // establishment: each layer carries that hop's link key and
-        // circuit ids.
-        let established = if self.cfg.circuits {
+        // circuit ids. Degraded destinations get a plain onion — no
+        // circuit to lose.
+        let established = if self.cfg.circuits && !degraded {
             let (src_circuit, setups) = circuit::establish(path.len(), ctx.rng());
             Some((src_circuit, setups))
         } else {
@@ -840,6 +1117,51 @@ mod tests {
         assert!(WclPacket::from_wire(&bytes).is_err());
         let onion = WclPacket { header: vec![1], body: vec![2] }.to_wire();
         assert!(CircuitPacket::from_wire(&onion).is_err());
+    }
+
+    #[test]
+    fn rtt_estimator_follows_jacobson() {
+        let mut e = RttEstimate::first(0.1);
+        assert!((e.srtt - 0.1).abs() < 1e-12);
+        assert!((e.rttvar - 0.05).abs() < 1e-12);
+        assert!((e.rto_secs() - 0.3).abs() < 1e-12, "srtt + 4·rttvar");
+        // A stream of identical samples shrinks the variance towards 0,
+        // so the RTO converges on srtt.
+        for _ in 0..200 {
+            e.update(0.1);
+        }
+        assert!((e.srtt - 0.1).abs() < 1e-6);
+        assert!(e.rto_secs() < 0.11, "variance decays on a stable path");
+        // A spike widens the variance again.
+        e.update(0.5);
+        assert!(e.rto_secs() > 0.4, "rto reacts to a late sample");
+    }
+
+    #[test]
+    fn rto_backoff_clamps_and_doubles() {
+        let (min, max) = (250_000u64, 10_000_000u64);
+        assert_eq!(rto_backoff_us(1_000, 1, min, max), min, "clamped up");
+        assert_eq!(rto_backoff_us(20_000_000, 1, min, max), max, "clamped down");
+        assert_eq!(rto_backoff_us(400_000, 1, min, max), 400_000);
+        assert_eq!(rto_backoff_us(400_000, 2, min, max), 800_000);
+        assert_eq!(rto_backoff_us(400_000, 3, min, max), 1_600_000);
+        assert_eq!(rto_backoff_us(400_000, 9, min, max), max, "backoff capped");
+        // Degenerate attempt counts do not overflow.
+        assert_eq!(rto_backoff_us(400_000, 0, min, max), 400_000);
+        assert_eq!(rto_backoff_us(max, 10_000, min, max), max);
+    }
+
+    #[test]
+    fn suspicion_decays_with_half_life() {
+        let t0 = SimTime::ZERO;
+        let hl = SimDuration::from_secs(60);
+        assert_eq!(decayed_score(2.0, t0, t0, hl), 2.0);
+        let after_hl = t0 + hl;
+        assert!((decayed_score(2.0, t0, after_hl, hl) - 1.0).abs() < 1e-9);
+        let after_2hl = t0 + hl + hl;
+        assert!((decayed_score(2.0, t0, after_2hl, hl) - 0.5).abs() < 1e-9);
+        // Zero half-life = no decay (degenerate config, not division).
+        assert_eq!(decayed_score(2.0, t0, after_2hl, SimDuration::ZERO), 2.0);
     }
 
     #[test]

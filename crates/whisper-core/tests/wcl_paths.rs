@@ -190,3 +190,75 @@ fn retries_avoid_previously_used_mixes() {
     assert!(m.counter("wcl.route_no_alt") + m.counter("wcl.route_exhausted") >= 1);
     assert_eq!(m.counter("wcl.route_first_success"), 0);
 }
+
+/// Exhausted-retries branch of `on_retry_timer`: alternatives keep
+/// existing (a public destination falls back to the source's CB publics,
+/// of which there are plenty), but `max_retries` is hit first. The
+/// failure is `wcl.route_exhausted` with `no_alternative: false`, and
+/// both the pending entry and any cached circuit route are gone.
+#[test]
+fn route_failed_exhausted_clears_pending_and_cached_route() {
+    let mut r = rig(10, 106);
+    let target = r.publics[0];
+    let dest_info = dest_info_of(&mut r.sim, target);
+    r.sim.remove_node(target);
+    let mut msg_id = 0;
+    let mut sent = false;
+    r.sim.with_node_ctx::<WhisperNode>(r.source, |node, ctx| {
+        node.with_api(|api, _| {
+            msg_id = api.wcl.alloc_msg_id();
+            sent = api.wcl.send(ctx, api.nylon, &dest_info, b"doomed".to_vec(), msg_id);
+        });
+    });
+    assert!(sent, "plenty of live relays to build the first path");
+    // Adaptive RTO backoff: ~2 + 4 + 8 + 16 s plus jitter.
+    r.sim.run_for_secs(90);
+    let m = r.sim.metrics();
+    assert_eq!(m.counter("wcl.route_exhausted"), 1, "retries must run dry");
+    assert_eq!(m.counter("wcl.route_no_alt"), 0, "alternatives never ran out");
+    assert_eq!(m.counter("wcl.route_retry"), 3, "max_retries alternative paths tried");
+    let node = r.sim.node::<WhisperNode>(r.source).unwrap();
+    assert!(!node.wcl().is_pending(msg_id), "pending entry must be dropped");
+    assert!(
+        !node.wcl().has_cached_route(target),
+        "cached circuit route must be torn down"
+    );
+}
+
+/// No-alternative branch of `on_retry_timer`: a NATted destination
+/// advertises exactly Π gateways, and once each has been tried the next
+/// timer finds no unused path. The failure is `wcl.route_no_alt` with
+/// `no_alternative: true`, again leaving no pending entry or cached
+/// route behind.
+#[test]
+fn route_failed_no_alternative_clears_pending_and_cached_route() {
+    let mut r = rig(6, 107);
+    let dest_info = dest_info_of(&mut r.sim, r.dest);
+    let gateways = dest_info.gateways.len();
+    assert!(gateways >= 2, "dest advertises Π gateways");
+    r.sim.remove_node(r.dest);
+    let mut msg_id = 0;
+    let mut sent = false;
+    r.sim.with_node_ctx::<WhisperNode>(r.source, |node, ctx| {
+        node.with_api(|api, _| {
+            msg_id = api.wcl.alloc_msg_id();
+            sent = api.wcl.send(ctx, api.nylon, &dest_info, b"doomed".to_vec(), msg_id);
+        });
+    });
+    assert!(sent);
+    r.sim.run_for_secs(60);
+    let m = r.sim.metrics();
+    assert_eq!(m.counter("wcl.route_no_alt"), 1, "gateway list must run out");
+    assert_eq!(m.counter("wcl.route_exhausted"), 0, "max_retries never reached");
+    assert_eq!(
+        m.counter("wcl.route_retry"),
+        gateways as u64 - 1,
+        "one retry per remaining gateway"
+    );
+    let node = r.sim.node::<WhisperNode>(r.source).unwrap();
+    assert!(!node.wcl().is_pending(msg_id), "pending entry must be dropped");
+    assert!(
+        !node.wcl().has_cached_route(r.dest),
+        "cached circuit route must be torn down"
+    );
+}

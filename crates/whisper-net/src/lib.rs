@@ -38,6 +38,7 @@
 //! ```
 
 pub mod churn;
+pub mod fault;
 pub mod latency;
 pub mod metrics;
 pub mod nat;

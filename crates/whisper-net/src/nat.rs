@@ -264,6 +264,19 @@ impl NatTable {
         self.devices.remove(&node);
     }
 
+    /// Replaces `node`'s device with a fresh one of the same type: every
+    /// mapping and association rule vanishes, like a consumer NAT
+    /// rebooting. Returns `false` if the node is unknown.
+    pub fn rebind(&mut self, node: NodeId) -> bool {
+        match self.devices.get_mut(&node) {
+            Some(dev) => {
+                *dev = NatDevice::new(dev.nat_type());
+                true
+            }
+            None => false,
+        }
+    }
+
     /// The NAT type of `node`, if registered.
     pub fn nat_type(&self, node: NodeId) -> Option<NatType> {
         self.devices.get(&node).map(|d| d.nat_type())

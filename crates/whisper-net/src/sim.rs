@@ -11,6 +11,7 @@
 //! applies them once the callback returns. This keeps the borrow structure
 //! simple and the event order well-defined.
 
+use crate::fault::{Fault, FaultPlan, FaultState};
 use crate::id::{Endpoint, NodeId};
 use crate::latency::NetProfile;
 use crate::metrics::Metrics;
@@ -36,6 +37,15 @@ pub trait Protocol {
 
     /// Invoked when a timer armed with [`Ctx::set_timer`] fires.
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64);
+
+    /// Invoked when the node comes back up after a scripted
+    /// crash-and-restart fault ([`crate::fault::Fault::CrashRestart`]).
+    ///
+    /// The process restarted: volatile protocol state is presumed lost,
+    /// and implementations should clear it here. The default does
+    /// nothing, which models a protocol whose state survives restarts
+    /// (or a test protocol that does not care).
+    fn on_crash_restart(&mut self, _ctx: &mut Ctx<'_>) {}
 
     /// Downcasting support so experiment harnesses can inspect node state.
     fn as_any(&self) -> &dyn Any;
@@ -113,6 +123,19 @@ enum EventKind {
         token: u64,
     },
     Start {
+        node: NodeId,
+    },
+    /// Scripted crash: the node goes down until `restart_at`.
+    FaultCrash {
+        node: NodeId,
+        restart_at: SimTime,
+    },
+    /// Scripted restart of a crashed node.
+    FaultRestart {
+        node: NodeId,
+    },
+    /// Scripted NAT rebind (fresh device, same type).
+    FaultRebind {
         node: NodeId,
     },
 }
@@ -195,6 +218,7 @@ pub struct Sim {
     rng: StdRng,
     metrics: Metrics,
     next_node_id: u64,
+    fault: FaultState,
 }
 
 impl Sim {
@@ -211,6 +235,7 @@ impl Sim {
             rng,
             metrics: Metrics::new(),
             next_node_id: 0,
+            fault: FaultState::default(),
         }
     }
 
@@ -276,6 +301,45 @@ impl Sim {
     pub fn remove_node(&mut self, id: NodeId) {
         self.nodes.remove(&id);
         self.nat.remove(id);
+        self.fault.down.remove(&id);
+    }
+
+    /// Installs a [`FaultPlan`]: windowed faults (partition, burst loss,
+    /// latency spike) take effect on the send path while their window is
+    /// active; point-in-time faults (crash/restart, NAT rebind) are
+    /// scheduled through the ordinary event queue, so their ordering
+    /// relative to protocol events is deterministic. May be called more
+    /// than once; plans accumulate. Instants already in the past fire
+    /// immediately.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        for fault in &plan.faults {
+            match *fault {
+                Fault::CrashRestart { node, at, restart_at } => {
+                    self.push_at(at, EventKind::FaultCrash { node, restart_at });
+                    self.push_at(restart_at, EventKind::FaultRestart { node });
+                }
+                Fault::NatRebind { node, at } => {
+                    self.push_at(at, EventKind::FaultRebind { node });
+                }
+                _ => {}
+            }
+        }
+        self.fault.install(plan);
+    }
+
+    /// Whether `id` is currently crashed by a [`Fault::CrashRestart`].
+    pub fn is_down(&self, id: NodeId) -> bool {
+        self.fault.down.contains_key(&id)
+    }
+
+    /// Number of messages currently in flight (queued `Deliver` events).
+    /// The drop-attribution identity is
+    /// `sends == deliveries + Σ drop counters + in_flight`.
+    pub fn in_flight_msgs(&self) -> u64 {
+        self.queue
+            .iter()
+            .filter(|Reverse(ev)| matches!(ev.kind, EventKind::Deliver { .. }))
+            .count() as u64
     }
 
     /// Immutable access to a node's protocol state, downcast to `T`.
@@ -299,6 +363,9 @@ impl Sim {
         let Some(nat_type) = self.nat.nat_type(id) else {
             return false;
         };
+        if self.fault.down.contains_key(&id) {
+            return false; // a crashed node cannot run callbacks
+        }
         let Some(mut proto) = self.nodes.remove(&id) else {
             return false;
         };
@@ -352,17 +419,58 @@ impl Sim {
         self.queue.push(Reverse(ev));
     }
 
+    /// Pushes an event at an absolute instant (now, if already past).
+    fn push_at(&mut self, at: SimTime, kind: EventKind) {
+        let delay = if at > self.now { at.since(self.now) } else { SimDuration::ZERO };
+        self.push(delay, kind);
+    }
+
     fn dispatch(&mut self, kind: EventKind) {
         match kind {
             EventKind::Start { node } => {
+                if let Some(&up_at) = self.fault.down.get(&node) {
+                    self.push_at(up_at, EventKind::Start { node });
+                    return;
+                }
                 self.invoke(node, |proto, ctx| proto.on_start(ctx));
             }
             EventKind::Timer { node, token } => {
+                // A crashed node runs nothing; its timers are deferred to
+                // the restart instant (with fresh, larger sequence
+                // numbers, so they fire *after* the restart callback).
+                if let Some(&up_at) = self.fault.down.get(&node) {
+                    self.push_at(up_at, EventKind::Timer { node, token });
+                    return;
+                }
                 self.invoke(node, |proto, ctx| proto.on_timer(ctx, token));
+            }
+            EventKind::FaultCrash { node, restart_at } => {
+                if !self.nodes.contains_key(&node) {
+                    return; // already removed by churn
+                }
+                self.fault.down.insert(node, restart_at);
+                // The host reboots: its NAT device forgets every binding.
+                self.nat.rebind(node);
+                self.metrics.count("net.fault_crash", 1);
+            }
+            EventKind::FaultRestart { node } => {
+                if self.fault.down.remove(&node).is_some() {
+                    self.metrics.count("net.fault_restart", 1);
+                    self.invoke(node, |proto, ctx| proto.on_crash_restart(ctx));
+                }
+            }
+            EventKind::FaultRebind { node } => {
+                if self.nat.rebind(node) {
+                    self.metrics.count("net.fault_nat_rebind", 1);
+                }
             }
             EventKind::Deliver { to, from, from_ep, data } => {
                 if !self.nodes.contains_key(&to.node) {
                     self.metrics.count("net.drop_dead_target", 1);
+                    return;
+                }
+                if self.fault.down.contains_key(&to.node) {
+                    self.metrics.count("net.drop_crashed", 1);
                     return;
                 }
                 let accepted = match self.nat.device_mut(to.node) {
@@ -421,15 +529,31 @@ impl Sim {
                         continue;
                     }
                     let Some(dev) = self.nat.device_mut(from) else {
-                        continue; // sender vanished (cannot normally happen)
+                        // Sender vanished between callback and effect
+                        // application (cannot normally happen).
+                        self.metrics.count("net.drop_sender_gone", 1);
+                        continue;
                     };
                     let src_port = dev.outbound(to, self.now, self.cfg.nat_lease);
                     let from_ep = Endpoint { node: from, port: src_port };
+                    if self.fault.partition_blocks(self.now, from, to.node) {
+                        self.metrics.count("net.drop_partition", 1);
+                        continue;
+                    }
                     if self.cfg.profile.sample_loss(&mut self.rng) {
                         self.metrics.count("net.lost", 1);
                         continue;
                     }
-                    let delay = self.cfg.profile.sample_delay(&mut self.rng);
+                    if self.fault.burst_drop(self.now, &mut self.rng) {
+                        self.metrics.count("net.lost_burst", 1);
+                        continue;
+                    }
+                    let mut delay = self.cfg.profile.sample_delay(&mut self.rng);
+                    let factor = self.fault.delay_factor(self.now);
+                    if factor > 1 {
+                        delay = delay * factor;
+                        self.metrics.count("net.delay_spiked", 1);
+                    }
                     self.push(delay, EventKind::Deliver { to, from, from_ep, data });
                 }
             }

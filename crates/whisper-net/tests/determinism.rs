@@ -203,3 +203,85 @@ fn full_stack_with_circuits_is_byte_identical() {
     assert_eq!(a.len(), b.len(), "stack trace lengths diverged");
     assert!(a == b, "same-seed circuit-enabled runs are not byte-identical");
 }
+
+/// Runs the chatter mesh under a scripted [`FaultPlan`] covering every
+/// fault type — partition, Gilbert–Elliott burst loss, latency spike,
+/// crash-and-restart, NAT rebinding — and serializes the observable
+/// state. Fault decisions (burst-chain transitions, drop attribution,
+/// deferred-timer ordering across a restart) all draw from the engine
+/// RNG, so they must replay byte-for-byte.
+fn run_fault_trace(seed: u64) -> Vec<u8> {
+    use whisper_net::fault::{FaultPlan, GilbertElliott};
+    use whisper_net::SimTime;
+
+    let mut sim = Sim::new(SimConfig::planetlab(seed));
+    let peers: Vec<NodeId> = (0..16).map(NodeId).collect();
+    for _ in 0..16u64 {
+        sim.add_node(
+            Box::new(Chatter { peers: peers.clone(), trace: Vec::new() }),
+            NatType::Public,
+        );
+    }
+    // One NATted talker (in nobody's peer list, so all its traffic is
+    // outbound) to give the rebind fault a binding table to clear.
+    let natted = sim.add_node(
+        Box::new(Chatter { peers: peers.clone(), trace: Vec::new() }),
+        NatType::RestrictedCone,
+    );
+
+    let at = |s: u64| SimTime::from_micros(s * 1_000_000);
+    let plan = FaultPlan::new()
+        .partition([NodeId(2), NodeId(3)], at(4), at(9))
+        .burst_loss(at(10), at(15), GilbertElliott::heavy())
+        .latency_spike(at(16), at(20), 10)
+        .crash_restart(NodeId(5), at(21), at(25))
+        .nat_rebind(natted, at(26));
+    sim.install_fault_plan(plan);
+    sim.run_for_secs(30);
+
+    for fired in [
+        "net.drop_partition",
+        "net.lost_burst",
+        "net.fault_crash",
+        "net.fault_restart",
+        "net.fault_nat_rebind",
+    ] {
+        assert!(sim.metrics().counter(fired) > 0, "{fired} never fired");
+    }
+
+    let mut out = Vec::new();
+    for id in sim.node_ids() {
+        let chatter = sim.node::<Chatter>(id).expect("chatter node");
+        out.extend_from_slice(&id.0.to_le_bytes());
+        out.extend_from_slice(&(chatter.trace.len() as u64).to_le_bytes());
+        out.extend_from_slice(&chatter.trace);
+    }
+    let metrics = sim.metrics();
+    for name in metrics.counter_names() {
+        out.extend_from_slice(name.as_bytes());
+        out.extend_from_slice(&metrics.counter(name).to_le_bytes());
+    }
+    for (node, traffic) in metrics.traffic_snapshot() {
+        out.extend_from_slice(&node.0.to_le_bytes());
+        out.extend_from_slice(&traffic.up_msgs.to_le_bytes());
+        out.extend_from_slice(&traffic.down_msgs.to_le_bytes());
+    }
+    out.extend_from_slice(&sim.now().as_micros().to_le_bytes());
+    out
+}
+
+/// Two same-seed runs under a full fault plan are byte-identical, and
+/// every scripted fault actually fired (otherwise the trace proves
+/// nothing about the fault paths).
+#[test]
+fn fault_plan_run_is_byte_identical() {
+    let a = run_fault_trace(0xFA_017);
+    let b = run_fault_trace(0xFA_017);
+    assert_eq!(a.len(), b.len(), "fault-plan trace lengths diverged");
+    assert!(a == b, "same-seed fault-plan runs are not byte-identical");
+    assert_ne!(
+        run_fault_trace(0xFA_017),
+        run_fault_trace(0xFA_018),
+        "seed does not influence the fault-plan trace"
+    );
+}

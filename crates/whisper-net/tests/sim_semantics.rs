@@ -134,3 +134,124 @@ fn identical_seeds_replay_identical_arrival_times() {
     assert_eq!(arrivals(42), arrivals(42));
     assert_ne!(arrivals(42), arrivals(43), "different seeds differ");
 }
+
+/// Sends one message to `target` every 100 ms, forever.
+struct Ticker {
+    target: NodeId,
+    sent: u64,
+}
+
+impl Protocol for Ticker {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.set_timer(SimDuration::from_millis(100), 0);
+    }
+    fn on_message(&mut self, _: &mut Ctx<'_>, _: NodeId, _: Endpoint, _: &[u8]) {}
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+        ctx.send_to(Endpoint::public(self.target), vec![0xAB]);
+        self.sent += 1;
+        ctx.set_timer(SimDuration::from_millis(100), 0);
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Sum of all per-node up / down message counts.
+fn traffic_totals(sim: &Sim) -> (u64, u64) {
+    let t = sim.metrics().traffic_snapshot();
+    (
+        t.values().map(|t| t.up_msgs).sum(),
+        t.values().map(|t| t.down_msgs).sum(),
+    )
+}
+
+/// Every send must end up delivered, attributed to a *named* drop
+/// counter, or still in flight — even with every fault class active at
+/// once. This is the accounting identity the chaos suite relies on.
+#[test]
+fn every_sim_drop_has_a_named_counter() {
+    use whisper_net::fault::{FaultPlan, GilbertElliott};
+    let mut sim = Sim::new(SimConfig::planetlab(11)); // 2% base loss
+    let sink = sim.add_node(Box::new(Recorder { received: Vec::new() }), NatType::Public);
+    let a = sim.add_node(Box::new(Ticker { target: sink, sent: 0 }), NatType::Public);
+    let b = sim.add_node(Box::new(Ticker { target: sink, sent: 0 }), NatType::Public);
+    let at = |s: u64| SimTime::from_micros(s * 1_000_000);
+    sim.install_fault_plan(
+        FaultPlan::new()
+            .partition([a], at(5), at(10))
+            .burst_loss(at(12), at(18), GilbertElliott::heavy())
+            .latency_spike(at(20), at(25), 10)
+            .crash_restart(sink, at(27), at(33))
+            .nat_rebind(b, at(35)),
+    );
+    sim.run_for_secs(60);
+    let m = sim.metrics();
+    // Each fault class left its mark under its own counter.
+    for name in [
+        "net.lost",
+        "net.lost_burst",
+        "net.drop_partition",
+        "net.drop_crashed",
+        "net.delay_spiked",
+        "net.fault_crash",
+        "net.fault_restart",
+        "net.fault_nat_rebind",
+    ] {
+        assert!(m.counter(name) > 0, "expected {name} > 0");
+    }
+    let (up, down) = traffic_totals(&sim);
+    let drops = m.counter("net.lost")
+        + m.counter("net.lost_burst")
+        + m.counter("net.drop_partition")
+        + m.counter("net.drop_crashed")
+        + m.counter("net.drop_dead_target")
+        + m.counter("net.nat_blocked")
+        + m.counter("net.drop_sender_gone");
+    assert_eq!(
+        up,
+        down + drops + sim.in_flight_msgs(),
+        "a message vanished without attribution"
+    );
+}
+
+/// Partition drops and crash drops are distinct causes: a send across the
+/// cut is `net.drop_partition`, a send to a down-but-coming-back node is
+/// `net.drop_crashed`, and a send to a removed node is
+/// `net.drop_dead_target`.
+#[test]
+fn drop_causes_are_not_conflated() {
+    use whisper_net::fault::FaultPlan;
+    let mut sim = Sim::new(SimConfig::cluster(12)); // lossless base
+    let sink = sim.add_node(Box::new(Recorder { received: Vec::new() }), NatType::Public);
+    let gone = sim.add_node(Box::new(Recorder { received: Vec::new() }), NatType::Public);
+    sim.add_node(Box::new(Ticker { target: sink, sent: 0 }), NatType::Public);
+    sim.add_node(Box::new(Ticker { target: gone, sent: 0 }), NatType::Public);
+    let at = |s: u64| SimTime::from_micros(s * 1_000_000);
+    sim.install_fault_plan(
+        FaultPlan::new()
+            .partition([sink], at(5), at(10))
+            .crash_restart(sink, at(15), at(20)),
+    );
+    sim.run_for_secs(12);
+    sim.remove_node(gone);
+    sim.run_for_secs(18);
+    let m = sim.metrics();
+    assert!(m.counter("net.drop_partition") > 0);
+    assert!(m.counter("net.drop_crashed") > 0);
+    assert!(m.counter("net.drop_dead_target") > 0);
+    assert_eq!(m.counter("net.lost"), 0, "cluster profile is lossless");
+    assert_eq!(m.counter("net.lost_burst"), 0, "no burst window installed");
+    // The sink survived its crash: deliveries resumed after restart.
+    let rec: &Recorder = sim.node(sink).unwrap();
+    assert!(
+        rec.received.iter().any(|(t, _, _)| *t >= at(20)),
+        "deliveries should resume after the restart"
+    );
+    assert!(
+        !rec.received.iter().any(|(t, _, _)| *t >= at(15) && *t < at(20)),
+        "no delivery may reach a crashed node"
+    );
+}

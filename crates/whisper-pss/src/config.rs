@@ -36,6 +36,14 @@ pub struct NylonConfig {
     pub open_timeout: SimDuration,
     /// RSA modulus size used for this node's key pair.
     pub rsa: RsaKeySize,
+    /// Stale-peer eviction: view entries whose age exceeds this many
+    /// cycles are dropped at the start of each gossip cycle, so killed or
+    /// partitioned peers leave every live view within a bounded number of
+    /// rounds (the Π bias would otherwise keep dead P-nodes alive
+    /// forever). `0` disables eviction. Must comfortably exceed the age a
+    /// live entry can reach between refreshes, or healthy peers get
+    /// purged too.
+    pub max_age: u16,
 }
 
 impl Default for NylonConfig {
@@ -51,6 +59,7 @@ impl Default for NylonConfig {
             cb_factor: 2,
             open_timeout: SimDuration::from_millis(800),
             rsa: RsaKeySize::Sim384,
+            max_age: 20,
         }
     }
 }
@@ -79,6 +88,10 @@ impl NylonConfig {
         );
         assert!(self.pi <= self.view_size, "Π cannot exceed the view size");
         assert!(self.cb_factor >= 1, "CB must hold at least one view worth");
+        assert!(
+            self.max_age == 0 || self.max_age as usize > 2 * self.view_size / self.gossip_len,
+            "max_age must exceed the refresh interval a live entry can see"
+        );
     }
 }
 
@@ -112,5 +125,16 @@ mod tests {
     #[should_panic(expected = "gossip length")]
     fn oversized_gossip_len_rejected() {
         NylonConfig { gossip_len: 11, ..NylonConfig::default() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "max_age")]
+    fn hair_trigger_max_age_rejected() {
+        NylonConfig { max_age: 4, ..NylonConfig::default() }.validate();
+    }
+
+    #[test]
+    fn zero_max_age_disables_eviction() {
+        NylonConfig { max_age: 0, ..NylonConfig::default() }.validate();
     }
 }

@@ -201,6 +201,30 @@ impl NylonCore {
         ctx.set_timer(offset, TIMER_GOSSIP_CYCLE);
     }
 
+    /// Models a process restart with full volatile-state loss: the view,
+    /// connection backlog, learned keys, transport contacts and any
+    /// in-flight gossip state vanish. Identity, configuration and the
+    /// bootstrap list survive (they live on disk), and the view is
+    /// re-seeded from the bootstrap list so the next gossip cycle —
+    /// whose timer the simulator defers across the outage — re-joins
+    /// the overlay.
+    pub fn on_restart(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.metrics().count("pss.restarts", 1);
+        self.view = View::new();
+        self.cb = ConnectionBacklog::new(self.cfg.cb_capacity());
+        self.keystore.clear();
+        self.transport = Transport::new();
+        self.outstanding = None;
+        self.ping_pending.clear();
+        self.punch_retries.clear();
+        let id = self.id;
+        for &b in &self.bootstrap.clone() {
+            if b != id {
+                self.view.insert(ViewEntry { node: b, age: 0, public: true, route: vec![] });
+            }
+        }
+    }
+
     /// Timer dispatch; returns upcall events.
     pub fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) -> Vec<NylonEvent> {
         match token & 0xFF {
@@ -279,6 +303,16 @@ impl NylonCore {
     fn do_gossip_cycle(&mut self, ctx: &mut Ctx<'_>) {
         self.cycles_run += 1;
         self.view.increment_ages();
+        // Stale-peer eviction: entries no refresh has touched for
+        // `max_age` cycles belong to dead or unreachable peers — without
+        // this, the Π bias keeps re-injecting dead P-nodes into merged
+        // views, poisoning gateway selection indefinitely.
+        if self.cfg.max_age > 0 {
+            let evicted = self.view.evict_older_than(self.cfg.max_age);
+            if evicted > 0 {
+                ctx.metrics().count("pss.stale_evicted", evicted as u64);
+            }
+        }
         if self.view.is_empty() {
             // Rejoin through the bootstrap list.
             for &b in &self.bootstrap.clone() {
@@ -625,6 +659,10 @@ impl Protocol for NylonNode {
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
         let _ = self.core.on_timer(ctx, token);
+    }
+
+    fn on_crash_restart(&mut self, ctx: &mut Ctx<'_>) {
+        self.core.on_restart(ctx);
     }
 
     fn as_any(&self) -> &dyn std::any::Any {

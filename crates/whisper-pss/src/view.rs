@@ -114,6 +114,16 @@ impl View {
         }
     }
 
+    /// Stale-peer eviction: removes every entry whose age exceeds
+    /// `max_age` cycles, returning how many were dropped. Counters the Π
+    /// bias, which would otherwise keep copies of a dead P-node's entry
+    /// circulating (and being selected as relays) forever.
+    pub fn evict_older_than(&mut self, max_age: u16) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.age <= max_age);
+        before - self.entries.len()
+    }
+
     /// The oldest entry — the healer's exchange partner. Ties are broken
     /// by node id for determinism.
     pub fn oldest(&self) -> Option<&ViewEntry> {
@@ -269,6 +279,20 @@ mod tests {
         v.insert(e(1, 9, false));
         assert_eq!(v.get(NodeId(1)).unwrap().age, 2, "older copy ignored");
         assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn evict_older_than_drops_only_stale_entries() {
+        let mut v = View::new();
+        v.insert(e(1, 5, false));
+        v.insert(e(2, 20, true));
+        v.insert(e(3, 21, true));
+        v.insert(e(4, 40, false));
+        assert_eq!(v.evict_older_than(20), 2, "ages 21 and 40 evicted");
+        assert_eq!(v.len(), 2);
+        assert!(v.get(NodeId(2)).is_some(), "age == max_age survives");
+        assert!(v.get(NodeId(3)).is_none());
+        assert_eq!(v.evict_older_than(20), 0, "idempotent");
     }
 
     #[test]

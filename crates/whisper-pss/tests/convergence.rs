@@ -289,3 +289,60 @@ fn pss_survives_scripted_churn() {
         "{dead_refs}/{total_refs} dead references linger"
     );
 }
+
+/// Stale-peer eviction (ISSUE: Nylon stale-peer eviction): kill a
+/// quarter of the network with no replacement; after `max_age` plus
+/// diffusion slack, **no** live node's view may reference a dead peer,
+/// every surviving entry's age is hard-bounded by `max_age`, and the
+/// eviction path itself must have fired.
+///
+/// The healer policy (oldest-first partner selection + removal on
+/// timeout) already cleans dead entries in `view_size` cycles or so, so
+/// eviction only becomes observable when views are large relative to
+/// the gossip rate — hence the 30-entry views here. What eviction adds
+/// over the healer is the *hard* staleness bound, independent of view
+/// size.
+#[test]
+fn eviction_purges_dead_peers_and_bounds_staleness() {
+    let cfg = NylonConfig {
+        view_size: 30,
+        gossip_len: 5,
+        max_age: 13,
+        ..NylonConfig::default()
+    };
+    cfg.validate();
+    let (mut sim, ids) = build_network(80, 2, &cfg, SimConfig::cluster(91), 300);
+    let victims: Vec<_> = ids.iter().copied().skip(2).step_by(4).collect();
+    for &v in &victims {
+        sim.remove_node(v);
+    }
+    // max_age cycles plus diffusion slack: a dead entry's age only grows
+    // (nobody re-injects it at age 0), so this bounds its lifetime.
+    let cycles = cfg.max_age as u64 + 7;
+    sim.run_for_secs(cycles * cfg.cycle.as_secs());
+    let mut checked = 0usize;
+    for &id in &ids {
+        let Some(node) = sim.node::<NylonNode>(id) else { continue };
+        checked += 1;
+        let view = node.core().view();
+        assert!(!view.is_empty(), "views must not empty out under eviction");
+        for entry in view.entries() {
+            assert!(
+                sim.contains(entry.node),
+                "live node {id:?} still references dead peer {:?} after {cycles} cycles",
+                entry.node
+            );
+            assert!(
+                entry.age <= cfg.max_age,
+                "entry age {} exceeds the max_age bound {}",
+                entry.age,
+                cfg.max_age
+            );
+        }
+    }
+    assert!(checked >= 50, "most of the population is still alive");
+    assert!(
+        sim.metrics().counter("pss.stale_evicted") > 0,
+        "the eviction path must have fired"
+    );
+}

@@ -22,4 +22,10 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "==> rustdoc builds clean (no warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace --quiet
 
+echo "==> chaos acceptance suite (384 nodes, release, fixed seed matrix)"
+for s in 7 11 13; do
+  echo "    seed $s"
+  WHISPER_CHAOS_SEED=$s cargo test -q --release --offline --test chaos -- --ignored
+done
+
 echo "verify: OK"

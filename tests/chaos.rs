@@ -1,0 +1,141 @@
+//! End-to-end chaos suite: every scripted fault scenario must keep the
+//! stack's recovery invariants (ISSUE: fault model, DESIGN.md §11):
+//!
+//! * **Attribution** — every sim-level send is delivered, counted under a
+//!   named drop counter, or still in flight: `unattributed == 0`.
+//! * **Delivery** — tracked request/response traffic reaches ≥ 90% (full
+//!   runs) once the heal window has passed.
+//! * **Convergence** — no live node ends with an empty Nylon view.
+//!
+//! The quick `smoke_*` tests run in debug CI. The `full_*` tests are the
+//! acceptance runs (384 nodes) and are `#[ignore]`d here; `scripts/
+//! verify.sh` runs them in release mode across a fixed seed matrix, with
+//! the seed supplied through `WHISPER_CHAOS_SEED`.
+
+use whisper_bench::chaos::{run_scenario, ChaosOutcome, ChaosParams, Scenario};
+
+/// Seed for the full acceptance runs (verify.sh sets the env var).
+fn acceptance_seed() -> u64 {
+    std::env::var("WHISPER_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7)
+}
+
+fn assert_invariants(scenario: Scenario, out: &ChaosOutcome, min_delivery: f64) {
+    assert_eq!(
+        out.unattributed, 0,
+        "{}: {} message(s) vanished without a named drop counter\ncounters: {:?}",
+        scenario.name(),
+        out.unattributed,
+        out.counters
+    );
+    assert!(
+        out.sent > 0,
+        "{}: workload issued no tracked requests",
+        scenario.name()
+    );
+    assert!(
+        out.delivery_ratio() >= min_delivery,
+        "{}: delivery {:.1}% < {:.0}% ({} acked / {} sent, {} skipped)\ncounters: {:?}",
+        scenario.name(),
+        out.delivery_ratio() * 100.0,
+        min_delivery * 100.0,
+        out.acked,
+        out.sent,
+        out.skipped,
+        out.counters
+    );
+    assert_eq!(
+        out.empty_views, 0,
+        "{}: {}/{} live node(s) ended with an empty view",
+        scenario.name(),
+        out.empty_views,
+        out.live_nodes
+    );
+}
+
+// ---------------------------------------------------------------- smoke
+
+fn smoke(scenario: Scenario, min_delivery: f64) {
+    let out = run_scenario(scenario, &ChaosParams::smoke(7));
+    assert_invariants(scenario, &out, min_delivery);
+}
+
+#[test]
+fn smoke_partition_heals() {
+    smoke(Scenario::Partition, 0.85);
+}
+
+#[test]
+fn smoke_burst_loss_recovers() {
+    smoke(Scenario::BurstLoss, 0.85);
+}
+
+#[test]
+fn smoke_latency_spike_rides_out() {
+    smoke(Scenario::LatencySpike, 0.85);
+}
+
+#[test]
+fn smoke_crash_restart_rejoins() {
+    let scenario = Scenario::CrashRestart;
+    let out = run_scenario(scenario, &ChaosParams::smoke(7));
+    assert_invariants(scenario, &out, 0.85);
+    // Crashes really happened and state-loss recovery really ran.
+    let counter = |name: &str| {
+        out.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    };
+    assert!(counter("net.fault_crash") > 0, "no crash was injected");
+    assert_eq!(
+        counter("net.fault_crash"),
+        counter("net.fault_restart"),
+        "every crashed node must restart"
+    );
+}
+
+#[test]
+fn smoke_nat_rebind_recovers() {
+    smoke(Scenario::NatRebind, 0.85);
+}
+
+// ----------------------------------------------------- acceptance (384)
+
+fn full(scenario: Scenario) {
+    let out = run_scenario(scenario, &ChaosParams::full(acceptance_seed()));
+    assert_invariants(scenario, &out, 0.90);
+}
+
+#[test]
+#[ignore = "384-node acceptance run; executed in release mode by scripts/verify.sh"]
+fn full_partition_heals() {
+    full(Scenario::Partition);
+}
+
+#[test]
+#[ignore = "384-node acceptance run; executed in release mode by scripts/verify.sh"]
+fn full_burst_loss_recovers() {
+    full(Scenario::BurstLoss);
+}
+
+#[test]
+#[ignore = "384-node acceptance run; executed in release mode by scripts/verify.sh"]
+fn full_latency_spike_rides_out() {
+    full(Scenario::LatencySpike);
+}
+
+#[test]
+#[ignore = "384-node acceptance run; executed in release mode by scripts/verify.sh"]
+fn full_crash_restart_rejoins() {
+    full(Scenario::CrashRestart);
+}
+
+#[test]
+#[ignore = "384-node acceptance run; executed in release mode by scripts/verify.sh"]
+fn full_nat_rebind_recovers() {
+    full(Scenario::NatRebind);
+}
