@@ -1,14 +1,31 @@
 //! Binary wrapper; see `whisper_bench::experiments::fig5`.
-//! Flags: `--quick` (smoke-test scale), `--no-oldest-p-discard`
-//! (ablation: protect P-node slots by seniority instead of freshness).
+//! Flags:
+//! * `--quick` — smoke-test scale;
+//! * `--no-oldest-p-discard` — ablation: protect P-node slots by
+//!   seniority instead of freshness;
+//! * `--nodes N` / `--shards S` — override the population size and the
+//!   engine shard count (DESIGN.md §12);
+//! * `--scale` — run the scale-out sweep (PSS-only nodes-per-second
+//!   curve, 384→10k nodes × 1/2/4/8 shards) instead of Fig. 5.
 
-use whisper_bench::experiments::{self, fig5};
+use whisper_bench::experiments::{self, fig5, scaling};
 
 fn main() {
-    let mut params =
-        if experiments::quick_flag() { fig5::Params::quick() } else { fig5::Params::paper() };
+    let quick = experiments::quick_flag();
+    if std::env::args().any(|a| a == "--scale") {
+        let params = if quick { scaling::Params::quick() } else { scaling::Params::paper() };
+        scaling::run(scaling::Stack::Pss, &params);
+        return;
+    }
+    let mut params = if quick { fig5::Params::quick() } else { fig5::Params::paper() };
     if std::env::args().any(|a| a == "--no-oldest-p-discard") {
         params.oldest_p_discard = false;
+    }
+    if let Some(nodes) = experiments::arg_value("--nodes") {
+        params.nodes = nodes;
+    }
+    if let Some(shards) = experiments::arg_value("--shards") {
+        params.shards = shards;
     }
     fig5::run(&params);
 }

@@ -1,15 +1,32 @@
 //! Binary wrapper; see `whisper_bench::experiments::table1`.
-//! Pass `--quick` for a fast smoke-test configuration, `--faults` to run
-//! only the fault-plan extension (burst loss / partition, adaptive vs.
-//! fixed RTO; medians land in `WHISPER_BENCH_JSON` when set).
+//! Flags:
+//! * `--quick` — fast smoke-test configuration;
+//! * `--faults` — run only the fault-plan extension (burst loss /
+//!   partition, adaptive vs. fixed RTO; medians land in
+//!   `WHISPER_BENCH_JSON` when set);
+//! * `--nodes N` / `--shards S` — override the population size and the
+//!   engine shard count (DESIGN.md §12);
+//! * `--scale` — run the scale-out sweep (full-stack nodes-per-second
+//!   curve, 384→10k nodes × 1/2/4/8 shards) instead of Table I.
 
-use whisper_bench::experiments::{self, table1};
+use whisper_bench::experiments::{self, scaling, table1};
 
 fn main() {
     let quick = experiments::quick_flag();
+    if std::env::args().any(|a| a == "--scale") {
+        let params = if quick { scaling::Params::quick() } else { scaling::Params::paper() };
+        scaling::run(scaling::Stack::Whisper, &params);
+        return;
+    }
     let faults_only = std::env::args().any(|a| a == "--faults");
     if !faults_only {
-        let params = if quick { table1::Params::quick() } else { table1::Params::paper() };
+        let mut params = if quick { table1::Params::quick() } else { table1::Params::paper() };
+        if let Some(nodes) = experiments::arg_value("--nodes") {
+            params.nodes = nodes;
+        }
+        if let Some(shards) = experiments::arg_value("--shards") {
+            params.shards = shards;
+        }
         table1::run(&params);
     }
     table1::run_fault_scenarios(quick, 7);

@@ -179,6 +179,9 @@ pub struct ChaosParams {
     pub seed: u64,
     /// WCL adaptive-RTO switch (false = the paper's fixed 2 s timer).
     pub adaptive_rto: bool,
+    /// Engine shard count (DESIGN.md §12). Purely a performance knob:
+    /// the outcome is byte-identical for any value.
+    pub shards: usize,
 }
 
 impl ChaosParams {
@@ -200,6 +203,7 @@ impl ChaosParams {
             heal_wait: 60,
             seed,
             adaptive_rto: true,
+            shards: 1,
         }
     }
 
@@ -261,6 +265,7 @@ impl ChaosOutcome {
 /// Runs one scenario end to end. Deterministic in `(scenario, params)`.
 pub fn run_scenario(scenario: Scenario, params: &ChaosParams) -> ChaosOutcome {
     let mut builder = NetBuilder::cluster(params.nodes, params.seed);
+    builder.sim = builder.sim.clone().with_shards(params.shards);
     builder.whisper.wcl.adaptive_rto = params.adaptive_rto;
     let mut net = builder.build_whisper(|_| Box::new(EchoApp::default()));
     net.sim.run_for_secs(params.warmup);

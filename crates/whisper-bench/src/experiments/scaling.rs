@@ -1,0 +1,145 @@
+//! Scale-out sweep — engine throughput against population size and
+//! shard count (DESIGN.md §12).
+//!
+//! For each `(nodes, shards)` cell the sweep builds a population, runs a
+//! fixed simulated gossip window and reports **nodes-per-second**: how
+//! many node-seconds of simulated time the engine sustains per
+//! wall-clock second (`nodes × simulated seconds ÷ wall seconds`). The
+//! curve 384 → 1k → 4k → 10k nodes at 1/2/4/8 shards is the PR's
+//! scaling evidence; cells land in the `WHISPER_BENCH_JSON` merge file
+//! under `scaling/...` ids.
+//!
+//! Two stack flavours share the sweep: the PSS-only population (the
+//! Fig. 5 build, gossip only) and the full WHISPER stack (the Table I
+//! build: PSS + Nylon + WCL timers). Key material is cycled through at
+//! most 256 distinct RSA pairs ([`NetBuilder::key_cycle`]) so keygen
+//! stays O(1) in population size and the timed window measures the
+//! engine, not `KeyPair::generate`.
+//!
+//! Honesty note: wall-clock timing is host-dependent by design — this is
+//! the *one* experiment whose numbers may differ across machines. The
+//! simulated traces remain byte-identical for every cell (the
+//! determinism contract); only the wall seconds vary. On a single-core
+//! host the threaded path cannot beat sequential, so the shard curve is
+//! flat there; see EXPERIMENTS.md § "Scaling".
+
+use std::time::Instant;
+
+use crate::harness::NetBuilder;
+use crate::report;
+use whisper_core::node::NoApp;
+use whisper_pss::NylonConfig;
+use whisper_rand::bench::Bench;
+
+/// Which protocol stack the sweep populates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stack {
+    /// PSS-only nodes (the Fig. 5 population): pure gossip load.
+    Pss,
+    /// Full WHISPER stacks (the Table I population): gossip + Nylon +
+    /// WCL timers.
+    Whisper,
+}
+
+impl Stack {
+    fn name(self) -> &'static str {
+        match self {
+            Stack::Pss => "pss",
+            Stack::Whisper => "whisper",
+        }
+    }
+}
+
+/// Sweep parameters.
+#[derive(Clone, Debug)]
+pub struct Params {
+    /// Population sizes to sweep.
+    pub nodes: Vec<usize>,
+    /// Shard counts to sweep at every population size.
+    pub shards: Vec<usize>,
+    /// Simulated seconds per timed cell.
+    pub secs: u64,
+    /// Engine seed.
+    pub seed: u64,
+}
+
+impl Params {
+    /// The full scaling curve: 384 → 1k → 4k → 10k nodes at 1/2/4/8
+    /// shards.
+    pub fn paper() -> Self {
+        Params {
+            nodes: vec![384, 1000, 4000, 10_000],
+            shards: vec![1, 2, 4, 8],
+            secs: 60,
+            seed: 7,
+        }
+    }
+
+    /// A fast smoke-test configuration.
+    pub fn quick() -> Self {
+        Params { nodes: vec![384, 1000], shards: vec![1, 4], secs: 20, ..Params::paper() }
+    }
+}
+
+/// Builds one cell's population and returns the wall seconds the timed
+/// simulation window took.
+fn run_cell(stack: Stack, nodes: usize, shards: usize, params: &Params) -> f64 {
+    let mut builder = NetBuilder::cluster(nodes, params.seed);
+    builder.sim = builder.sim.clone().with_shards(shards);
+    builder.key_cycle = Some(256);
+    match stack {
+        Stack::Pss => {
+            let mut net = builder.build_pss(&NylonConfig::default());
+            let start = Instant::now();
+            net.sim.run_for_secs(params.secs);
+            start.elapsed().as_secs_f64()
+        }
+        Stack::Whisper => {
+            let mut net = builder.build_whisper(|_| Box::new(NoApp));
+            let start = Instant::now();
+            net.sim.run_for_secs(params.secs);
+            start.elapsed().as_secs_f64()
+        }
+    }
+}
+
+/// Runs the sweep, prints the curve and records every cell into the
+/// bench merge file. Also prints the one-line `scaling:` summary that
+/// `scripts/verify.sh` surfaces.
+pub fn run(stack: Stack, params: &Params) {
+    report::banner(
+        "Scaling",
+        &format!("{}-stack nodes-per-second vs. population and shard count", stack.name()),
+    );
+    println!(
+        "window={}s seed={} key_cycle=256 (wall-clock timing: host-dependent by design)",
+        params.secs, params.seed
+    );
+    println!("{:<8} {:>7} {:>12} {:>16}", "nodes", "shards", "wall (s)", "nodes/sec");
+    let mut bench = Bench::new();
+    let mut best: Option<(usize, usize, f64)> = None;
+    for &nodes in &params.nodes {
+        for &shards in &params.shards {
+            let wall = run_cell(stack, nodes, shards, params);
+            let nodes_per_sec = nodes as f64 * params.secs as f64 / wall.max(1e-9);
+            println!("{nodes:<8} {shards:>7} {wall:>12.2} {nodes_per_sec:>16.0}");
+            bench.record(
+                format!("scaling/{}_n{nodes}_s{shards}_nodes_per_sec", stack.name()),
+                nodes_per_sec,
+            );
+            if best.is_none_or(|(_, _, b)| nodes_per_sec > b) {
+                best = Some((nodes, shards, nodes_per_sec));
+            }
+        }
+    }
+    if let Some((nodes, shards, nps)) = best {
+        println!(
+            "scaling: {} stack peak {:.0} nodes/sec ({} nodes, {} shard(s))",
+            stack.name(),
+            nps,
+            nodes,
+            shards
+        );
+    }
+    bench.emit_json();
+}

@@ -49,6 +49,12 @@ pub struct NetBuilder {
     pub whisper: WhisperConfig,
     /// Seed for key generation (distinct from the engine seed).
     pub key_seed: u64,
+    /// Generate at most this many distinct key pairs and cycle them
+    /// across the population (`None` = one key per node). Scale-out
+    /// sweeps set this: RSA keygen is O(nodes) and would dominate a
+    /// 10k-node build, while throughput runs only need *plausible* keys,
+    /// not unique ones.
+    pub key_cycle: Option<usize>,
 }
 
 impl NetBuilder {
@@ -61,7 +67,16 @@ impl NetBuilder {
             sim: SimConfig::cluster(seed),
             whisper: WhisperConfig::default(),
             key_seed: seed ^ 0x4B45_5953, // "KEYS"
+            key_cycle: None,
         }
+    }
+
+    /// Generates the population's key material, honouring
+    /// [`NetBuilder::key_cycle`].
+    fn population_keys(&self, size: RsaKeySize) -> Vec<KeyPair> {
+        let distinct = self.key_cycle.unwrap_or(self.nodes).min(self.nodes).max(1);
+        let keys = gen_keys_parallel(distinct, size, self.key_seed);
+        (0..self.nodes).map(|i| keys[i % distinct].clone()).collect()
     }
 
     /// The paper's defaults on the PlanetLab profile.
@@ -72,7 +87,7 @@ impl NetBuilder {
     /// Builds a network of plain PSS nodes ([`NylonNode`]) — used by the
     /// Fig. 5 / Fig. 6 experiments that evaluate the PSS layer alone.
     pub fn build_pss(&self, nylon_cfg: &NylonConfig) -> PssNet {
-        let keys = gen_keys_parallel(self.nodes, nylon_cfg.rsa, self.key_seed);
+        let keys = self.population_keys(nylon_cfg.rsa);
         let mut sim = Sim::new(self.sim.clone());
         let dist = NatDistribution::with_public_ratio(self.public_ratio);
         let mut ids = Vec::with_capacity(self.nodes);
@@ -104,7 +119,7 @@ impl NetBuilder {
         &self,
         make_app: impl Fn(usize) -> Box<dyn GroupApp>,
     ) -> WhisperNet {
-        let keys = gen_keys_parallel(self.nodes, self.whisper.nylon.rsa, self.key_seed);
+        let keys = self.population_keys(self.whisper.nylon.rsa);
         let mut sim = Sim::new(self.sim.clone());
         let dist = NatDistribution::with_public_ratio(self.public_ratio);
         let mut ids = Vec::with_capacity(self.nodes);

@@ -6,9 +6,10 @@
 //! *data*, not callbacks — the engine interprets it at well-defined points
 //! (send time, delivery time, and scripted instants routed through the
 //! ordinary event queue), and every probabilistic decision draws from the
-//! sim RNG. Two runs with the same seed and the same plan therefore
-//! produce byte-identical traces, which is what makes chaos scenarios
-//! regression-testable (see `tests/chaos.rs` and DESIGN.md §11).
+//! sending node's link RNG stream. Two runs with the same seed and the
+//! same plan therefore produce byte-identical traces — for any shard
+//! count — which is what makes chaos scenarios regression-testable (see
+//! `tests/chaos.rs` and DESIGN.md §11–12).
 //!
 //! Every packet a fault kills is attributed to a named metric counter
 //! (`net.drop_partition`, `net.lost_burst`, `net.drop_crashed`, …); the
@@ -17,16 +18,19 @@
 
 use crate::id::NodeId;
 use crate::time::SimTime;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 use whisper_rand::rngs::StdRng;
 use whisper_rand::Rng;
 
 /// A two-state Markov (Gilbert–Elliott) burst-loss model.
 ///
-/// The chain steps once per packet sent while the fault window is active:
-/// first the state may flip (good ↔ bad), then the packet is lost with the
-/// state's loss probability. Because sends are processed in deterministic
-/// order, the chain's trajectory is a pure function of the sim seed.
+/// Each **sending node** runs its own chain (modelling a bursty uplink),
+/// stepped once per packet that node sends while the fault window is
+/// active: first the state may flip (good ↔ bad), then the packet is lost
+/// with the state's loss probability. The chain draws from the sender's
+/// link RNG stream, so its trajectory is a pure function of
+/// `(seed, sender)` — independent of how nodes are partitioned across
+/// simulator shards.
 #[derive(Clone, Debug)]
 pub struct GilbertElliott {
     /// Per-packet probability of entering the bad (bursty) state.
@@ -177,26 +181,21 @@ impl FaultPlan {
     }
 }
 
-/// Engine-side runtime state for installed faults. Owned by the sim;
-/// methods are called from the send/deliver paths.
+/// Engine-side runtime state for installed faults. Owned by the sim and
+/// shared read-only across shards; methods are called from the
+/// send/deliver paths. Mutable per-sender chain state (the Gilbert–Elliott
+/// `bad` flags) lives in the per-node arena slots, not here, so shards
+/// never contend on it.
 #[derive(Debug, Default)]
 pub(crate) struct FaultState {
     faults: Vec<Fault>,
-    /// Per-fault Gilbert–Elliott chain state (indexed like `faults`;
-    /// only meaningful for `BurstLoss` entries).
-    ge_bad: Vec<bool>,
-    /// Nodes currently crashed, with their scripted restart instant.
-    pub(crate) down: BTreeMap<NodeId, SimTime>,
 }
 
 impl FaultState {
     /// Appends a plan's faults (point-in-time actions are scheduled by the
     /// sim separately, through the event queue).
     pub(crate) fn install(&mut self, plan: FaultPlan) {
-        for fault in plan.faults {
-            self.faults.push(fault);
-            self.ge_bad.push(false);
-        }
+        self.faults.extend(plan.faults);
     }
 
     /// Whether an active partition separates `a` from `b`.
@@ -209,15 +208,28 @@ impl FaultState {
         })
     }
 
-    /// Steps every active burst-loss chain once; returns whether any of
-    /// them drops this packet. Draws from `rng` only while a window is
-    /// active, so traces outside fault windows are unchanged.
-    pub(crate) fn burst_drop(&mut self, now: SimTime, rng: &mut StdRng) -> bool {
+    /// Steps every active burst-loss chain of one sender once; returns
+    /// whether any of them drops this packet. `ge_bad` is the sender's
+    /// per-fault chain state (indexed like `faults`, grown lazily) and
+    /// `rng` the sender's link RNG — both are shard-local, so traces are
+    /// independent of shard count, and no draw happens outside an active
+    /// window, so traces outside fault windows are unchanged.
+    pub(crate) fn burst_drop(
+        &self,
+        now: SimTime,
+        ge_bad: &mut Vec<bool>,
+        rng: &mut StdRng,
+    ) -> bool {
         let mut dropped = false;
         for (i, f) in self.faults.iter().enumerate() {
             if let Fault::BurstLoss { from, to, model } = f {
-                if now >= *from && now < *to && model.step(&mut self.ge_bad[i], rng) {
-                    dropped = true;
+                if now >= *from && now < *to {
+                    if ge_bad.len() <= i {
+                        ge_bad.resize(i + 1, false);
+                    }
+                    if model.step(&mut ge_bad[i], rng) {
+                        dropped = true;
+                    }
                 }
             }
         }
@@ -275,8 +287,9 @@ mod tests {
                 GilbertElliott::heavy(),
             ));
             let mut rng = StdRng::seed_from_u64(seed);
+            let mut ge_bad = Vec::new();
             (0..200u64)
-                .map(|i| fs.burst_drop(SimTime::from_micros(i), &mut rng))
+                .map(|i| fs.burst_drop(SimTime::from_micros(i), &mut ge_bad, &mut rng))
                 .collect::<Vec<_>>()
         };
         let a = run(42);
@@ -297,8 +310,9 @@ mod tests {
             GilbertElliott::heavy(),
         ));
         let mut rng = StdRng::seed_from_u64(7);
+        let mut ge_bad = Vec::new();
         let drops: Vec<bool> = (0..50_000u64)
-            .map(|i| fs.burst_drop(SimTime::from_micros(i), &mut rng))
+            .map(|i| fs.burst_drop(SimTime::from_micros(i), &mut ge_bad, &mut rng))
             .collect();
         let total = drops.iter().filter(|&&d| d).count() as f64;
         let pairs = drops.windows(2).filter(|w| w[0] && w[1]).count() as f64;

@@ -61,6 +61,20 @@ impl LatencyModel {
         }
     }
 
+    /// Smallest delay this model can ever produce.
+    ///
+    /// The sharded engine uses this as the conservative lookahead bound:
+    /// no draw from [`sample`](LatencyModel::sample) may return less, so
+    /// a message sent at time `t` can never arrive before
+    /// `t + min_delay()`.
+    pub fn min_delay(&self) -> SimDuration {
+        match self {
+            LatencyModel::Constant(d) => *d,
+            LatencyModel::Uniform { min, .. } => *min,
+            LatencyModel::LogNormal { min, .. } => *min,
+        }
+    }
+
     /// Expected (mean) delay, used by tests and planning heuristics.
     pub fn mean(&self) -> SimDuration {
         match self {
@@ -135,6 +149,18 @@ impl NetProfile {
             processing: LatencyModel::Constant(SimDuration::ZERO),
             loss: 0.0,
         }
+    }
+
+    /// Smallest one-way delay this profile can ever produce
+    /// (`link.min_delay() + processing.min_delay()`).
+    ///
+    /// This bounds the sharded engine's lookahead window: events a shard
+    /// processes inside `[t, t + min_delay())` cannot be affected by any
+    /// message another shard sends at or after `t`. All built-in profiles
+    /// return at least 1 µs; a custom profile returning zero cannot be
+    /// sharded (see [`crate::sim::SimConfig`]).
+    pub fn min_delay(&self) -> SimDuration {
+        self.link.min_delay() + self.processing.min_delay()
     }
 
     /// Samples a total one-way delay for a message.
@@ -218,6 +244,18 @@ mod tests {
         let rate = lost as f64 / 10_000.0;
         assert!((rate - pl.loss).abs() < 0.01);
         assert!(!(0..10_000).any(|_| cl.sample_loss(&mut rng)));
+    }
+
+    #[test]
+    fn min_delay_is_a_true_lower_bound() {
+        for profile in [NetProfile::cluster(), NetProfile::planetlab(), NetProfile::ideal()] {
+            let floor = profile.min_delay();
+            assert!(floor >= SimDuration::from_micros(1), "profiles must be shardable");
+            let mut rng = StdRng::seed_from_u64(7);
+            for _ in 0..5000 {
+                assert!(profile.sample_delay(&mut rng) >= floor);
+            }
+        }
     }
 
     #[test]

@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 //! Deterministic discrete-event network simulator for the WHISPER
 //! reproduction.
 //!
@@ -6,9 +6,13 @@
 //! running 1,000 nodes and a 400-node PlanetLab slice, both driven by the
 //! SPLAY framework). It provides:
 //!
-//! * [`sim`] — a single-threaded, seeded, discrete-event engine. Protocols
+//! * [`sim`] — a seeded, sharded, discrete-event engine. Protocols
 //!   implement [`sim::Protocol`] and interact with the world through
-//!   [`sim::Ctx`] (send packets, arm timers, record metrics).
+//!   [`sim::Ctx`] (send packets, arm timers, record metrics). Nodes are
+//!   partitioned across shards that may run on worker threads; the shard
+//!   count and thread policy are pure performance knobs — the trace is
+//!   byte-identical for any setting (the determinism contract,
+//!   DESIGN.md §12).
 //! * [`nat`] — per-node NAT device emulation with the four device types of
 //!   paper §V-A (`full_cone`, `restricted_cone`, `port_restricted_cone`,
 //!   `sym`), per-connection filtering rules and association-rule lease
@@ -25,7 +29,7 @@
 //! * [`stats`] — CDF / percentile helpers used to print the paper's plots.
 //!
 //! Two runs with the same seed and the same driver program produce
-//! identical results.
+//! identical results — on one shard or eight, sequential or threaded.
 //!
 //! ```
 //! use whisper_net::sim::{Sim, SimConfig};

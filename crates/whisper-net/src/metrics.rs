@@ -26,11 +26,23 @@ pub struct Traffic {
     pub down_msgs: u64,
 }
 
+/// Canonical event key used to order sample series across shards:
+/// `(time in µs, source class/id, per-source sequence number)`. Every
+/// event the sharded engine dispatches carries one, and keys compare the
+/// same way regardless of how nodes are partitioned.
+pub(crate) type SampleTag = (u64, u64, u64);
+
 /// Metric sink shared by the simulator and all protocols.
 #[derive(Debug, Default)]
 pub struct Metrics {
     counters: BTreeMap<&'static str, u64>,
     samples: BTreeMap<&'static str, Vec<f64>>,
+    /// Per-series event tags, parallel to `samples`, populated only while
+    /// the engine has a current-event tag set. Used to merge per-shard
+    /// sample series back into the canonical global order.
+    tags: BTreeMap<&'static str, Vec<SampleTag>>,
+    /// Tag stamped on every sample recorded until the next `set_tag`.
+    cur_tag: Option<SampleTag>,
     traffic: BTreeMap<NodeId, Traffic>,
 }
 
@@ -53,6 +65,83 @@ impl Metrics {
     /// Appends a sample to series `name`.
     pub fn sample(&mut self, name: &'static str, value: f64) {
         self.samples.entry(name).or_default().push(value);
+        if let Some(tag) = self.cur_tag {
+            self.tags.entry(name).or_default().push(tag);
+        }
+    }
+
+    /// Sets (or clears) the event tag stamped on subsequent samples.
+    ///
+    /// The engine sets this to the current event's canonical key before
+    /// invoking a protocol callback and clears it at window boundaries;
+    /// harness-time samples (no tag) are appended directly to the master
+    /// sink and never merged.
+    pub(crate) fn set_tag(&mut self, tag: Option<SampleTag>) {
+        self.cur_tag = tag;
+    }
+
+    /// Folds per-shard delta sinks into `self`.
+    ///
+    /// Counters and traffic merge by addition. Sample series are merged by
+    /// their event tags: within one shard samples were recorded in
+    /// nondecreasing tag order (shards process events in canonical key
+    /// order), so a k-way merge reproduces exactly the series a 1-shard
+    /// run would have recorded. Tags never collide across shards because
+    /// each event key contains its source id.
+    pub(crate) fn merge_shard_deltas(&mut self, deltas: Vec<Metrics>) {
+        for d in &deltas {
+            for (&name, &v) in &d.counters {
+                *self.counters.entry(name).or_insert(0) += v;
+            }
+            for (&node, t) in &d.traffic {
+                let e = self.traffic.entry(node).or_default();
+                e.up_bytes += t.up_bytes;
+                e.down_bytes += t.down_bytes;
+                e.up_msgs += t.up_msgs;
+                e.down_msgs += t.down_msgs;
+            }
+        }
+        let mut names: Vec<&'static str> = Vec::new();
+        for d in &deltas {
+            for &name in d.samples.keys() {
+                if !names.contains(&name) {
+                    names.push(name);
+                }
+            }
+        }
+        names.sort_unstable();
+        for name in names {
+            // One (tags, values, cursor) run per shard that touched the
+            // series; repeatedly emit the run with the smallest head tag.
+            let mut runs: Vec<(&[SampleTag], &[f64], usize)> = deltas
+                .iter()
+                .filter_map(|d| {
+                    let vals = d.samples.get(name)?;
+                    let tags = d.tags.get(name).map(Vec::as_slice).unwrap_or(&[]);
+                    debug_assert_eq!(
+                        tags.len(),
+                        vals.len(),
+                        "shard-delta series {name} must be fully tagged"
+                    );
+                    Some((tags, vals.as_slice(), 0usize))
+                })
+                .collect();
+            let out = self.samples.entry(name).or_default();
+            loop {
+                let mut best: Option<usize> = None;
+                for (i, (tags, _, cur)) in runs.iter().enumerate() {
+                    if *cur < tags.len()
+                        && best.is_none_or(|b| tags[*cur] < runs[b].0[runs[b].2])
+                    {
+                        best = Some(i);
+                    }
+                }
+                let Some(i) = best else { break };
+                let (_, vals, cur) = &mut runs[i];
+                out.push(vals[*cur]);
+                *cur += 1;
+            }
+        }
     }
 
     /// All samples recorded under `name`.
@@ -100,6 +189,7 @@ impl Metrics {
     pub fn reset_counters_and_samples(&mut self) {
         self.counters.clear();
         self.samples.clear();
+        self.tags.clear();
     }
 }
 

@@ -1,32 +1,84 @@
 //! The discrete-event engine.
 //!
 //! A [`Sim`] owns a population of protocol instances (one per simulated
-//! host), the global event queue, the NAT table, the latency/loss profile
-//! and a seeded RNG. Everything is single-threaded and deterministic:
-//! events are ordered by `(time, sequence-number)`, so two runs with the
-//! same seed replay identically.
+//! host) partitioned across one or more **shards**. Each shard owns an
+//! event queue and the arena of per-node hot state (protocol box, NAT
+//! device, RNG streams, fault state). With `shards = 1` (the default)
+//! the engine is the classic single-queue event loop; with more shards
+//! it advances in conservative lookahead windows bounded by the minimum
+//! cross-shard link latency, optionally on `std::thread::scope` worker
+//! threads.
+//!
+//! # The determinism contract
+//!
+//! Two runs with the same seed produce **byte-identical traces and
+//! metrics for any shard count and any thread policy**. This holds
+//! because nothing trace-visible depends on partitioning:
+//!
+//! * Events are ordered by a canonical key `(time, source, sequence)`
+//!   where `source` is the originating node (or the control plane) and
+//!   `sequence` a per-source counter — not a global insertion counter.
+//! * Every node draws from its own RNG streams derived from
+//!   `(seed, node id)` via [`StdRng::for_stream_lane`]: one lane for
+//!   protocol randomness, one for link randomness (latency, loss,
+//!   burst-loss chains). Engine draws happen at send time in the
+//!   sender's shard.
+//! * Cross-shard messages are exchanged at window barriers and can only
+//!   land in future windows (the window length never exceeds the
+//!   profile's [`minimum delay`](crate::latency::NetProfile::min_delay)),
+//!   so each shard processes an identical event sequence regardless of
+//!   when its neighbours run.
+//!
+//! See `DESIGN.md` §12 for the full algorithm and the rules code must
+//! follow to preserve the contract (no wall clock, no `HashMap`
+//! iteration order in trace-visible paths).
 //!
 //! Protocols implement [`Protocol`] and interact with the world only
 //! through [`Ctx`], which *records* effects (sends, timers); the engine
-//! applies them once the callback returns. This keeps the borrow structure
-//! simple and the event order well-defined.
+//! applies them once the callback returns. This keeps the borrow
+//! structure simple and the event order well-defined.
 
 use crate::fault::{Fault, FaultPlan, FaultState};
 use crate::id::{Endpoint, NodeId};
 use crate::latency::NetProfile;
 use crate::metrics::Metrics;
-use crate::nat::{NatTable, NatType};
+use crate::nat::{NatDevice, NatType};
 use crate::time::{SimDuration, SimTime};
-use whisper_rand::rngs::StdRng;
-use whisper_rand::SeedableRng;
 use std::any::Any;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, BTreeMap};
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
+use whisper_rand::rngs::StdRng;
+
+/// RNG stream lane for protocol randomness ([`Ctx::rng`]).
+const LANE_PROTO: u64 = 0;
+/// RNG stream lane for link randomness (delay, loss, burst chains).
+const LANE_LINK: u64 = 1;
+/// RNG stream lane for the harness generator ([`Sim::rng`]).
+const LANE_HARNESS: u64 = 2;
+
+/// Event-source class for control-plane events (node starts scheduled by
+/// the harness, scripted fault instants). Sorts before every node source
+/// at equal times, so crash/restart handling precedes deferred protocol
+/// events at the same instant.
+const CONTROL_SRC: u64 = 0;
 
 /// A protocol stack running on one simulated host.
 ///
 /// All callbacks receive a [`Ctx`] for interacting with the network.
-pub trait Protocol {
+///
+/// # Reentrancy and threading
+///
+/// Callbacks are never reentered: the engine runs at most one callback
+/// per node at a time, and effects recorded through [`Ctx`] are applied
+/// only after the callback returns — a message a callback sends can
+/// never be delivered (even to `self`) before that callback finishes.
+/// Implementations must be [`Send`] because a sharded simulation may run
+/// a node's callbacks on a worker thread; they never run on two threads
+/// concurrently, and a given node's callbacks always execute in
+/// deterministic event order.
+pub trait Protocol: Send {
     /// Invoked once when the node is added to the simulation.
     fn on_start(&mut self, ctx: &mut Ctx<'_>);
 
@@ -42,9 +94,11 @@ pub trait Protocol {
     /// crash-and-restart fault ([`crate::fault::Fault::CrashRestart`]).
     ///
     /// The process restarted: volatile protocol state is presumed lost,
-    /// and implementations should clear it here. The default does
-    /// nothing, which models a protocol whose state survives restarts
-    /// (or a test protocol that does not care).
+    /// and implementations should clear it here. Timers that would have
+    /// fired while the node was down are delivered *after* this callback
+    /// (at the restart instant, in their original relative order). The
+    /// default does nothing, which models a protocol whose state survives
+    /// restarts (or a test protocol that does not care).
     fn on_crash_restart(&mut self, _ctx: &mut Ctx<'_>) {}
 
     /// Downcasting support so experiment harnesses can inspect node state.
@@ -100,12 +154,16 @@ impl<'a> Ctx<'a> {
         self.effects.push(Effect::Timer { delay, token });
     }
 
-    /// Deterministic randomness source.
+    /// Deterministic randomness source: this node's private protocol RNG
+    /// stream, a pure function of `(seed, node id)`. Drawing more or
+    /// fewer values here never perturbs any other node's randomness or
+    /// the network schedule.
     pub fn rng(&mut self) -> &mut StdRng {
         self.rng
     }
 
-    /// The shared metric sink.
+    /// The metric sink (shard-local during a run; merged deterministically
+    /// into the global sink at run boundaries).
     pub fn metrics(&mut self) -> &mut Metrics {
         self.metrics
     }
@@ -140,15 +198,21 @@ enum EventKind {
     },
 }
 
+/// An event with its canonical, shard-invariant ordering key
+/// `(at, src, seq)`. `src` is [`CONTROL_SRC`] for control-plane events
+/// and `node.0 + 1` for node-originated ones; `seq` is a per-source
+/// monotone counter, so keys are globally unique and compare identically
+/// for any partitioning of nodes over shards.
 struct Event {
     at: SimTime,
+    src: u64,
     seq: u64,
     kind: EventKind,
 }
 
 impl PartialEq for Event {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        (self.at, self.src, self.seq) == (other.at, other.src, other.seq)
     }
 }
 impl Eq for Event {}
@@ -159,15 +223,15 @@ impl PartialOrd for Event {
 }
 impl Ord for Event {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
+        (self.at, self.src, self.seq).cmp(&(other.at, other.src, other.seq))
     }
 }
 
 /// Engine configuration.
 #[derive(Clone, Debug)]
 pub struct SimConfig {
-    /// Seed for the engine RNG (drives latency, loss and protocol
-    /// randomness).
+    /// Seed for all engine randomness. Every per-node stream and the
+    /// harness RNG derive from it.
     pub seed: u64,
     /// Latency/loss environment.
     pub profile: NetProfile,
@@ -176,6 +240,15 @@ pub struct SimConfig {
     /// connection reuse relies on the long TCP-style leases (§II-C). The
     /// simulator defaults to 2 hours.
     pub nat_lease: SimDuration,
+    /// Number of engine shards (≥ 1). Nodes are partitioned by
+    /// `NodeId % shards`; traces are byte-identical for any value.
+    /// Sharding requires `profile.min_delay() > 0`.
+    pub shards: usize,
+    /// Thread policy for `shards > 1`: `None` (default) uses worker
+    /// threads only when the host has more than one CPU, `Some(true)`
+    /// forces threads, `Some(false)` forces the sequential interleave.
+    /// The choice never affects traces — it is pure wall-clock policy.
+    pub threads: Option<bool>,
 }
 
 impl SimConfig {
@@ -185,6 +258,8 @@ impl SimConfig {
             seed,
             profile: NetProfile::cluster(),
             nat_lease: SimDuration::from_secs(7200),
+            shards: 1,
+            threads: None,
         }
     }
 
@@ -194,6 +269,8 @@ impl SimConfig {
             seed,
             profile: NetProfile::planetlab(),
             nat_lease: SimDuration::from_secs(7200),
+            shards: 1,
+            threads: None,
         }
     }
 
@@ -203,7 +280,323 @@ impl SimConfig {
             seed,
             profile: NetProfile::ideal(),
             nat_lease: SimDuration::from_secs(7200),
+            shards: 1,
+            threads: None,
         }
+    }
+
+    /// Returns the config with `shards` engine shards.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        assert!(shards >= 1, "a simulation needs at least one shard");
+        self.shards = shards;
+        self
+    }
+
+    /// Returns the config with an explicit thread policy (see
+    /// [`SimConfig::threads`]).
+    pub fn with_threads(mut self, threads: bool) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+}
+
+/// Hot per-node state, flattened into its shard's arena.
+struct Slot {
+    id: NodeId,
+    /// `None` once the node has been removed (ids are never reused, so
+    /// the slot itself stays to keep the arena dense).
+    proto: Option<Box<dyn Protocol>>,
+    nat: NatDevice,
+    /// Protocol randomness ([`Ctx::rng`]); lane [`LANE_PROTO`].
+    proto_rng: StdRng,
+    /// Link randomness (delay/loss/burst draws at send time); lane
+    /// [`LANE_LINK`].
+    link_rng: StdRng,
+    /// Next sequence number for events this node originates.
+    seq: u64,
+    /// `Some(restart_at)` while crashed by a fault.
+    down_until: Option<SimTime>,
+    /// Per-fault Gilbert–Elliott chain state for this node's uplink
+    /// (indexed like the installed fault list, grown lazily).
+    ge_bad: Vec<bool>,
+}
+
+/// Read-only engine environment shared by all shards during a window.
+struct EngineEnv<'a> {
+    cfg: &'a SimConfig,
+    fault: &'a FaultState,
+}
+
+/// One shard: an event queue plus the arena of nodes it owns.
+struct Shard {
+    index: usize,
+    nshards: u64,
+    now: SimTime,
+    queue: BinaryHeap<Reverse<Event>>,
+    slots: Vec<Slot>,
+    /// Delta metric sink, drained into the master sink at run boundaries.
+    metrics: Metrics,
+    /// Queued `Deliver` events (maintained incrementally; O(1) reads).
+    in_flight: u64,
+    /// Live (non-removed) nodes in this shard.
+    live: usize,
+}
+
+impl Shard {
+    fn new(index: usize, nshards: u64) -> Self {
+        Shard {
+            index,
+            nshards,
+            now: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            slots: Vec::new(),
+            metrics: Metrics::new(),
+            in_flight: 0,
+            live: 0,
+        }
+    }
+
+    /// Arena position of `id`, if this shard owns such a slot.
+    fn slot_pos(&self, id: NodeId) -> Option<usize> {
+        let pos = (id.0 / self.nshards) as usize;
+        (id.0 % self.nshards == self.index as u64 && pos < self.slots.len()).then_some(pos)
+    }
+
+    /// Time of the earliest queued event in µs (`u64::MAX` if empty).
+    fn head_us(&self) -> u64 {
+        self.queue.peek().map(|Reverse(ev)| ev.at.as_micros()).unwrap_or(u64::MAX)
+    }
+
+    /// Processes every queued event with `at < horizon_us`. Events for
+    /// other shards are pushed to `out` (only deliveries cross shards).
+    fn run_window(&mut self, horizon_us: u64, env: &EngineEnv<'_>, out: &mut Vec<Event>) {
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if head.at.as_micros() >= horizon_us {
+                break;
+            }
+            let Reverse(ev) = self.queue.pop().expect("peeked");
+            if matches!(ev.kind, EventKind::Deliver { .. }) {
+                self.in_flight -= 1;
+            }
+            self.now = ev.at;
+            self.metrics.set_tag(Some((ev.at.as_micros(), ev.src, ev.seq)));
+            self.dispatch(ev, env, out);
+        }
+        self.metrics.set_tag(None);
+    }
+
+    fn dispatch(&mut self, ev: Event, env: &EngineEnv<'_>, out: &mut Vec<Event>) {
+        match ev.kind {
+            EventKind::Start { node } => {
+                let Some(pos) = self.slot_pos(node) else { return };
+                if self.slots[pos].proto.is_none() {
+                    return; // removed before it started
+                }
+                if let Some(up_at) = self.slots[pos].down_until {
+                    // Defer to the restart instant, reusing the original
+                    // key so the relative order of deferred events is
+                    // preserved (the control-class restart still sorts
+                    // first).
+                    self.queue.push(Reverse(Event {
+                        at: up_at.max(self.now),
+                        src: ev.src,
+                        seq: ev.seq,
+                        kind: EventKind::Start { node },
+                    }));
+                    return;
+                }
+                self.invoke(pos, env, out, |proto, ctx| proto.on_start(ctx));
+            }
+            EventKind::Timer { node, token } => {
+                let Some(pos) = self.slot_pos(node) else { return };
+                if self.slots[pos].proto.is_none() {
+                    return;
+                }
+                // A crashed node runs nothing; its timers are deferred to
+                // the restart instant and fire *after* the restart
+                // callback (control events sort first at equal times).
+                if let Some(up_at) = self.slots[pos].down_until {
+                    self.queue.push(Reverse(Event {
+                        at: up_at.max(self.now),
+                        src: ev.src,
+                        seq: ev.seq,
+                        kind: EventKind::Timer { node, token },
+                    }));
+                    return;
+                }
+                self.invoke(pos, env, out, |proto, ctx| proto.on_timer(ctx, token));
+            }
+            EventKind::FaultCrash { node, restart_at } => {
+                let Some(pos) = self.slot_pos(node) else { return };
+                let slot = &mut self.slots[pos];
+                if slot.proto.is_none() {
+                    return; // already removed by churn
+                }
+                slot.down_until = Some(restart_at);
+                // The host reboots: its NAT device forgets every binding.
+                slot.nat = NatDevice::new(slot.nat.nat_type());
+                self.metrics.count("net.fault_crash", 1);
+            }
+            EventKind::FaultRestart { node } => {
+                let Some(pos) = self.slot_pos(node) else { return };
+                if self.slots[pos].down_until.take().is_some() {
+                    self.metrics.count("net.fault_restart", 1);
+                    self.invoke(pos, env, out, |proto, ctx| proto.on_crash_restart(ctx));
+                }
+            }
+            EventKind::FaultRebind { node } => {
+                let Some(pos) = self.slot_pos(node) else { return };
+                let slot = &mut self.slots[pos];
+                if slot.proto.is_some() {
+                    slot.nat = NatDevice::new(slot.nat.nat_type());
+                    self.metrics.count("net.fault_nat_rebind", 1);
+                }
+            }
+            EventKind::Deliver { to, from, from_ep, data } => {
+                let Some(pos) = self.slot_pos(to.node) else {
+                    self.metrics.count("net.drop_dead_target", 1);
+                    return;
+                };
+                let slot = &mut self.slots[pos];
+                if slot.proto.is_none() {
+                    self.metrics.count("net.drop_dead_target", 1);
+                    return;
+                }
+                if slot.down_until.is_some() {
+                    self.metrics.count("net.drop_crashed", 1);
+                    return;
+                }
+                if !slot.nat.inbound(to.port, from_ep, self.now) {
+                    self.metrics.count("net.nat_blocked", 1);
+                    return;
+                }
+                self.metrics.record_down(to.node, data.len());
+                self.invoke(pos, env, out, move |proto, ctx| {
+                    proto.on_message(ctx, from, from_ep, &data)
+                });
+            }
+        }
+    }
+
+    /// Runs one callback on the slot (if alive) and applies its effects.
+    fn invoke(
+        &mut self,
+        pos: usize,
+        env: &EngineEnv<'_>,
+        out: &mut Vec<Event>,
+        f: impl FnOnce(&mut dyn Protocol, &mut Ctx<'_>),
+    ) {
+        let now = self.now;
+        let effects = {
+            let Shard { slots, metrics, .. } = self;
+            let slot = &mut slots[pos];
+            let Some(mut proto) = slot.proto.take() else { return };
+            let mut ctx = Ctx {
+                now,
+                id: slot.id,
+                nat_type: slot.nat.nat_type(),
+                rng: &mut slot.proto_rng,
+                metrics,
+                effects: Vec::new(),
+            };
+            f(proto.as_mut(), &mut ctx);
+            let effects = std::mem::take(&mut ctx.effects);
+            slot.proto = Some(proto);
+            effects
+        };
+        self.apply_effects(pos, effects, env, out);
+    }
+
+    fn apply_effects(
+        &mut self,
+        pos: usize,
+        effects: Vec<Effect>,
+        env: &EngineEnv<'_>,
+        out: &mut Vec<Event>,
+    ) {
+        let nshards = self.nshards;
+        let index = self.index as u64;
+        let now = self.now;
+        let Shard { slots, metrics, queue, in_flight, .. } = self;
+        let slot = &mut slots[pos];
+        let from = slot.id;
+        for effect in effects {
+            match effect {
+                Effect::Timer { delay, token } => {
+                    let ev = Event {
+                        at: now + delay,
+                        src: from.0 + 1,
+                        seq: slot.seq,
+                        kind: EventKind::Timer { node: from, token },
+                    };
+                    slot.seq += 1;
+                    queue.push(Reverse(ev));
+                }
+                Effect::Send { to, data } => {
+                    metrics.record_up(from, data.len());
+                    // Loopback: skip NAT and loss, deliver with link delay.
+                    if to.node == from {
+                        let delay = env.cfg.profile.link.sample(&mut slot.link_rng);
+                        let from_ep = Endpoint { node: from, port: 0 };
+                        let ev = Event {
+                            at: now + delay,
+                            src: from.0 + 1,
+                            seq: slot.seq,
+                            kind: EventKind::Deliver { to, from, from_ep, data },
+                        };
+                        slot.seq += 1;
+                        *in_flight += 1;
+                        queue.push(Reverse(ev));
+                        continue;
+                    }
+                    let src_port = slot.nat.outbound(to, now, env.cfg.nat_lease);
+                    let from_ep = Endpoint { node: from, port: src_port };
+                    if env.fault.partition_blocks(now, from, to.node) {
+                        metrics.count("net.drop_partition", 1);
+                        continue;
+                    }
+                    if env.cfg.profile.sample_loss(&mut slot.link_rng) {
+                        metrics.count("net.lost", 1);
+                        continue;
+                    }
+                    if env.fault.burst_drop(now, &mut slot.ge_bad, &mut slot.link_rng) {
+                        metrics.count("net.lost_burst", 1);
+                        continue;
+                    }
+                    let mut delay = env.cfg.profile.sample_delay(&mut slot.link_rng);
+                    let factor = env.fault.delay_factor(now);
+                    if factor > 1 {
+                        delay = delay * factor;
+                        metrics.count("net.delay_spiked", 1);
+                    }
+                    let ev = Event {
+                        at: now + delay,
+                        src: from.0 + 1,
+                        seq: slot.seq,
+                        kind: EventKind::Deliver { to, from, from_ep, data },
+                    };
+                    slot.seq += 1;
+                    if to.node.0 % nshards == index {
+                        *in_flight += 1;
+                        queue.push(Reverse(ev));
+                    } else {
+                        out.push(ev);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Pushes cross-shard events into their destination shards' queues.
+fn route(shards: &mut [Shard], evs: Vec<Event>, nshards: u64) {
+    for ev in evs {
+        let dest = match &ev.kind {
+            EventKind::Deliver { to, .. } => (to.node.0 % nshards) as usize,
+            _ => unreachable!("only deliveries cross shards"),
+        };
+        shards[dest].in_flight += 1;
+        shards[dest].queue.push(Reverse(ev));
     }
 }
 
@@ -211,31 +604,57 @@ impl SimConfig {
 pub struct Sim {
     cfg: SimConfig,
     now: SimTime,
-    seq: u64,
-    queue: BinaryHeap<Reverse<Event>>,
-    nodes: BTreeMap<NodeId, Box<dyn Protocol>>,
-    nat: NatTable,
-    rng: StdRng,
+    shards: Vec<Shard>,
+    fault: FaultState,
+    /// Harness RNG ([`Sim::rng`]), independent of all engine streams.
+    harness_rng: StdRng,
+    /// Master metric sink; shard deltas are merged into it at run
+    /// boundaries.
     metrics: Metrics,
     next_node_id: u64,
-    fault: FaultState,
+    /// Sequence counter for control-plane events.
+    control_seq: u64,
+    /// Conservative lookahead window length in µs.
+    lookahead_us: u64,
+    /// Whether `run_until` uses worker threads (trace-invariant).
+    threaded: bool,
 }
 
 impl Sim {
     /// Creates an empty simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.shards == 0`, or if `cfg.shards > 1` with a profile
+    /// whose [`NetProfile::min_delay`] is zero (conservative lookahead
+    /// needs a positive minimum cross-shard latency).
     pub fn new(cfg: SimConfig) -> Self {
-        let rng = StdRng::seed_from_u64(cfg.seed);
+        assert!(cfg.shards >= 1, "a simulation needs at least one shard");
+        let lookahead_us = cfg.profile.min_delay().as_micros();
+        if cfg.shards > 1 {
+            assert!(
+                lookahead_us > 0,
+                "sharded simulation requires profile.min_delay() > 0 \
+                 (the lookahead window would be empty)"
+            );
+        }
+        let threaded = cfg.shards > 1
+            && cfg.threads.unwrap_or_else(|| {
+                std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1) > 1
+            });
+        let harness_rng = StdRng::for_stream_lane(cfg.seed, 0, LANE_HARNESS);
+        let shards = (0..cfg.shards).map(|i| Shard::new(i, cfg.shards as u64)).collect();
         Sim {
             cfg,
             now: SimTime::ZERO,
-            seq: 0,
-            queue: BinaryHeap::new(),
-            nodes: BTreeMap::new(),
-            nat: NatTable::new(),
-            rng,
+            shards,
+            fault: FaultState::default(),
+            harness_rng,
             metrics: Metrics::new(),
             next_node_id: 0,
-            fault: FaultState::default(),
+            control_seq: 0,
+            lookahead_us,
+            threaded,
         }
     }
 
@@ -246,27 +665,35 @@ impl Sim {
 
     /// Number of live nodes.
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.shards.iter().map(|s| s.live).sum()
     }
 
     /// Whether the simulation has no nodes.
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.len() == 0
     }
 
     /// Live node identifiers in ascending order (deterministic).
     pub fn node_ids(&self) -> Vec<NodeId> {
-        self.nodes.keys().copied().collect()
+        let mut ids: Vec<NodeId> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.slots.iter().filter(|sl| sl.proto.is_some()).map(|sl| sl.id))
+            .collect();
+        ids.sort_unstable();
+        ids
     }
 
     /// Whether `id` is currently live.
     pub fn contains(&self, id: NodeId) -> bool {
-        self.nodes.contains_key(&id)
+        self.slot(id).is_some_and(|sl| sl.proto.is_some())
     }
 
     /// The NAT type of a live node.
     pub fn nat_type(&self, id: NodeId) -> Option<NatType> {
-        self.nat.nat_type(id)
+        let slot = self.slot(id)?;
+        slot.proto.as_ref()?;
+        Some(slot.nat.nat_type())
     }
 
     /// The metric sink.
@@ -279,47 +706,71 @@ impl Sim {
         &mut self.metrics
     }
 
-    /// The engine RNG (for harness-level random choices that must stay
-    /// deterministic).
+    /// The harness RNG, for harness-level random choices that must stay
+    /// deterministic (topology sampling, victim selection, …).
+    /// Independent of every engine and per-node stream.
     pub fn rng(&mut self) -> &mut StdRng {
-        &mut self.rng
+        &mut self.harness_rng
     }
 
     /// Adds a node behind a NAT device of type `nat_type` and schedules
     /// its `on_start` at the current time. Returns its fresh identifier.
+    ///
+    /// Ids are assigned sequentially and never reused, which keeps every
+    /// shard's arena dense (`NodeId % shards` picks the shard,
+    /// `NodeId / shards` the slot).
     pub fn add_node(&mut self, protocol: Box<dyn Protocol>, nat_type: NatType) -> NodeId {
         let id = NodeId(self.next_node_id);
         self.next_node_id += 1;
-        self.nodes.insert(id, protocol);
-        self.nat.insert(id, nat_type);
-        self.push(SimDuration::ZERO, EventKind::Start { node: id });
+        let seed = self.cfg.seed;
+        let nshards = self.cfg.shards as u64;
+        let shard = &mut self.shards[(id.0 % nshards) as usize];
+        debug_assert_eq!(shard.slots.len() as u64, id.0 / nshards, "arena must stay dense");
+        shard.slots.push(Slot {
+            id,
+            proto: Some(protocol),
+            nat: NatDevice::new(nat_type),
+            proto_rng: StdRng::for_stream_lane(seed, id.0, LANE_PROTO),
+            link_rng: StdRng::for_stream_lane(seed, id.0, LANE_LINK),
+            seq: 0,
+            down_until: None,
+            ge_bad: Vec::new(),
+        });
+        shard.live += 1;
+        self.push_control(self.now, id, EventKind::Start { node: id });
         id
     }
 
     /// Removes a node abruptly (crash semantics: no notification, pending
-    /// messages to it are dropped, its NAT state disappears).
+    /// messages to it are dropped, its NAT state disappears). O(1).
     pub fn remove_node(&mut self, id: NodeId) {
-        self.nodes.remove(&id);
-        self.nat.remove(id);
-        self.fault.down.remove(&id);
+        if let Some(slot) = self.slot_mut(id) {
+            if slot.proto.take().is_some() {
+                slot.down_until = None;
+                slot.nat = NatDevice::new(slot.nat.nat_type());
+                let si = (id.0 % self.cfg.shards as u64) as usize;
+                self.shards[si].live -= 1;
+            }
+        }
     }
 
     /// Installs a [`FaultPlan`]: windowed faults (partition, burst loss,
     /// latency spike) take effect on the send path while their window is
     /// active; point-in-time faults (crash/restart, NAT rebind) are
-    /// scheduled through the ordinary event queue, so their ordering
-    /// relative to protocol events is deterministic. May be called more
-    /// than once; plans accumulate. Instants already in the past fire
-    /// immediately.
+    /// scheduled through the ordinary event queues as control-plane
+    /// events, so their ordering relative to protocol events is
+    /// deterministic (control events sort first at equal instants). May
+    /// be called more than once; plans accumulate. Instants already in
+    /// the past fire immediately.
     pub fn install_fault_plan(&mut self, plan: FaultPlan) {
         for fault in &plan.faults {
             match *fault {
                 Fault::CrashRestart { node, at, restart_at } => {
-                    self.push_at(at, EventKind::FaultCrash { node, restart_at });
-                    self.push_at(restart_at, EventKind::FaultRestart { node });
+                    self.push_control(at, node, EventKind::FaultCrash { node, restart_at });
+                    self.push_control(restart_at, node, EventKind::FaultRestart { node });
                 }
                 Fault::NatRebind { node, at } => {
-                    self.push_at(at, EventKind::FaultRebind { node });
+                    self.push_control(at, node, EventKind::FaultRebind { node });
                 }
                 _ => {}
             }
@@ -327,80 +778,99 @@ impl Sim {
         self.fault.install(plan);
     }
 
-    /// Whether `id` is currently crashed by a [`Fault::CrashRestart`].
+    /// Whether `id` is currently crashed by a
+    /// [`Fault::CrashRestart`]. O(1).
     pub fn is_down(&self, id: NodeId) -> bool {
-        self.fault.down.contains_key(&id)
+        self.slot(id).is_some_and(|sl| sl.down_until.is_some())
     }
 
     /// Number of messages currently in flight (queued `Deliver` events).
     /// The drop-attribution identity is
     /// `sends == deliveries + Σ drop counters + in_flight`.
     pub fn in_flight_msgs(&self) -> u64 {
-        self.queue
-            .iter()
-            .filter(|Reverse(ev)| matches!(ev.kind, EventKind::Deliver { .. }))
-            .count() as u64
+        self.shards.iter().map(|s| s.in_flight).sum()
     }
 
     /// Immutable access to a node's protocol state, downcast to `T`.
     pub fn node<T: 'static>(&self, id: NodeId) -> Option<&T> {
-        self.nodes.get(&id)?.as_any().downcast_ref::<T>()
+        self.slot(id)?.proto.as_ref()?.as_any().downcast_ref::<T>()
     }
 
     /// Mutable access to a node's protocol state, downcast to `T`.
     pub fn node_mut<T: 'static>(&mut self, id: NodeId) -> Option<&mut T> {
-        self.nodes.get_mut(&id)?.as_any_mut().downcast_mut::<T>()
+        self.slot_mut(id)?.proto.as_mut()?.as_any_mut().downcast_mut::<T>()
     }
 
     /// Invokes `f` on the node as if from a protocol callback — used by
     /// harnesses to inject application commands (e.g. "issue a DHT
-    /// lookup"). Effects are applied as usual.
+    /// lookup"). Effects are applied as usual. Returns `false` if the
+    /// node is missing, crashed, or not a `T`.
     pub fn with_node_ctx<T: 'static>(
         &mut self,
         id: NodeId,
         f: impl FnOnce(&mut T, &mut Ctx<'_>),
     ) -> bool {
-        let Some(nat_type) = self.nat.nat_type(id) else {
-            return false;
+        let now = self.now;
+        let nshards = self.cfg.shards as u64;
+        let si = (id.0 % nshards) as usize;
+        let mut moved: Vec<Event> = Vec::new();
+        let applied = {
+            let Sim { cfg, fault, shards, metrics, .. } = self;
+            let env = EngineEnv { cfg, fault };
+            let shard = &mut shards[si];
+            let Some(pos) = shard.slot_pos(id) else { return false };
+            shard.now = now;
+            let slot = &mut shard.slots[pos];
+            if slot.down_until.is_some() {
+                return false; // a crashed node cannot run callbacks
+            }
+            let Some(mut proto) = slot.proto.take() else { return false };
+            let mut ctx = Ctx {
+                now,
+                id,
+                nat_type: slot.nat.nat_type(),
+                rng: &mut slot.proto_rng,
+                metrics,
+                effects: Vec::new(),
+            };
+            let applied = if let Some(t) = proto.as_any_mut().downcast_mut::<T>() {
+                f(t, &mut ctx);
+                true
+            } else {
+                false
+            };
+            let effects = std::mem::take(&mut ctx.effects);
+            slot.proto = Some(proto);
+            shard.apply_effects(pos, effects, &env, &mut moved);
+            applied
         };
-        if self.fault.down.contains_key(&id) {
-            return false; // a crashed node cannot run callbacks
-        }
-        let Some(mut proto) = self.nodes.remove(&id) else {
-            return false;
-        };
-        let mut ctx = Ctx {
-            now: self.now,
-            id,
-            nat_type,
-            rng: &mut self.rng,
-            metrics: &mut self.metrics,
-            effects: Vec::new(),
-        };
-        let applied = if let Some(t) = proto.as_any_mut().downcast_mut::<T>() {
-            f(t, &mut ctx);
-            true
-        } else {
-            false
-        };
-        let effects = std::mem::take(&mut ctx.effects);
-        self.nodes.insert(id, proto);
-        self.apply_effects(id, effects);
+        route(&mut self.shards, moved, nshards);
+        self.sync_metrics();
         applied
     }
 
-    /// Runs events until the queue is exhausted or `deadline` is reached;
-    /// time ends exactly at `deadline`.
+    /// Runs events until the queues are exhausted or `deadline` is
+    /// reached; time ends exactly at `deadline`.
     pub fn run_until(&mut self, deadline: SimTime) {
-        while let Some(Reverse(ev)) = self.queue.peek() {
-            if ev.at > deadline {
-                break;
-            }
-            let Reverse(ev) = self.queue.pop().expect("peeked");
-            self.now = ev.at;
-            self.dispatch(ev.kind);
+        let deadline_us = deadline.as_micros();
+        if self.cfg.shards == 1 {
+            // Classic path: everything is local to the single shard, so
+            // one "window" covering the whole run suffices.
+            let mut moved = Vec::new();
+            let Sim { cfg, fault, shards, .. } = self;
+            let env = EngineEnv { cfg, fault };
+            shards[0].run_window(deadline_us.saturating_add(1), &env, &mut moved);
+            debug_assert!(moved.is_empty(), "a single shard cannot emit cross-shard events");
+        } else if self.threaded {
+            self.run_until_threaded(deadline_us);
+        } else {
+            self.run_until_sequential(deadline_us);
+        }
+        for shard in &mut self.shards {
+            shard.now = deadline;
         }
         self.now = deadline;
+        self.sync_metrics();
     }
 
     /// Runs for `d` of simulated time.
@@ -413,151 +883,122 @@ impl Sim {
         self.run_for(SimDuration::from_secs(secs));
     }
 
-    fn push(&mut self, delay: SimDuration, kind: EventKind) {
-        let ev = Event { at: self.now + delay, seq: self.seq, kind };
-        self.seq += 1;
-        self.queue.push(Reverse(ev));
+    /// Sequential conservative-window loop: every shard processes the
+    /// current window in turn, then cross-shard sends are exchanged.
+    /// Byte-identical to the threaded loop.
+    fn run_until_sequential(&mut self, deadline_us: u64) {
+        let lookahead = self.lookahead_us;
+        let nshards = self.cfg.shards as u64;
+        loop {
+            let t_next = self.shards.iter().map(Shard::head_us).min().unwrap_or(u64::MAX);
+            if t_next > deadline_us {
+                break;
+            }
+            let horizon = t_next.saturating_add(lookahead).min(deadline_us.saturating_add(1));
+            let mut moved = Vec::new();
+            {
+                let Sim { cfg, fault, shards, .. } = self;
+                let env = EngineEnv { cfg, fault };
+                for shard in shards.iter_mut() {
+                    shard.run_window(horizon, &env, &mut moved);
+                }
+            }
+            route(&mut self.shards, moved, nshards);
+        }
     }
 
-    /// Pushes an event at an absolute instant (now, if already past).
-    fn push_at(&mut self, at: SimTime, kind: EventKind) {
-        let delay = if at > self.now { at.since(self.now) } else { SimDuration::ZERO };
-        self.push(delay, kind);
-    }
-
-    fn dispatch(&mut self, kind: EventKind) {
-        match kind {
-            EventKind::Start { node } => {
-                if let Some(&up_at) = self.fault.down.get(&node) {
-                    self.push_at(up_at, EventKind::Start { node });
-                    return;
-                }
-                self.invoke(node, |proto, ctx| proto.on_start(ctx));
-            }
-            EventKind::Timer { node, token } => {
-                // A crashed node runs nothing; its timers are deferred to
-                // the restart instant (with fresh, larger sequence
-                // numbers, so they fire *after* the restart callback).
-                if let Some(&up_at) = self.fault.down.get(&node) {
-                    self.push_at(up_at, EventKind::Timer { node, token });
-                    return;
-                }
-                self.invoke(node, |proto, ctx| proto.on_timer(ctx, token));
-            }
-            EventKind::FaultCrash { node, restart_at } => {
-                if !self.nodes.contains_key(&node) {
-                    return; // already removed by churn
-                }
-                self.fault.down.insert(node, restart_at);
-                // The host reboots: its NAT device forgets every binding.
-                self.nat.rebind(node);
-                self.metrics.count("net.fault_crash", 1);
-            }
-            EventKind::FaultRestart { node } => {
-                if self.fault.down.remove(&node).is_some() {
-                    self.metrics.count("net.fault_restart", 1);
-                    self.invoke(node, |proto, ctx| proto.on_crash_restart(ctx));
-                }
-            }
-            EventKind::FaultRebind { node } => {
-                if self.nat.rebind(node) {
-                    self.metrics.count("net.fault_nat_rebind", 1);
-                }
-            }
-            EventKind::Deliver { to, from, from_ep, data } => {
-                if !self.nodes.contains_key(&to.node) {
-                    self.metrics.count("net.drop_dead_target", 1);
-                    return;
-                }
-                if self.fault.down.contains_key(&to.node) {
-                    self.metrics.count("net.drop_crashed", 1);
-                    return;
-                }
-                let accepted = match self.nat.device_mut(to.node) {
-                    Some(dev) => dev.inbound(to.port, from_ep, self.now),
-                    None => false,
-                };
-                if !accepted {
-                    self.metrics.count("net.nat_blocked", 1);
-                    return;
-                }
-                self.metrics.record_down(to.node, data.len());
-                self.invoke(to.node, |proto, ctx| {
-                    proto.on_message(ctx, from, from_ep, &data)
+    /// Threaded conservative-window loop: one scoped worker per shard,
+    /// three barrier crossings per window (process, exchange, publish
+    /// local minima). Event keys make queue contents order-insensitive,
+    /// so inbox arrival order cannot leak into the trace.
+    fn run_until_threaded(&mut self, deadline_us: u64) {
+        const STOP: u64 = u64::MAX;
+        let n = self.shards.len();
+        let lookahead = self.lookahead_us;
+        let horizon = AtomicU64::new(0);
+        let next_at: Vec<AtomicU64> =
+            self.shards.iter().map(|s| AtomicU64::new(s.head_us())).collect();
+        let inboxes: Vec<Mutex<Vec<Event>>> = (0..n).map(|_| Mutex::new(Vec::new())).collect();
+        let barrier = Barrier::new(n + 1);
+        let Sim { cfg, fault, shards, .. } = self;
+        let nshards = cfg.shards as u64;
+        let env = EngineEnv { cfg, fault };
+        std::thread::scope(|scope| {
+            for (i, shard) in shards.iter_mut().enumerate() {
+                let (barrier, horizon, next_at, inboxes, env) =
+                    (&barrier, &horizon, &next_at, &inboxes, &env);
+                scope.spawn(move || {
+                    let mut out: Vec<Event> = Vec::new();
+                    loop {
+                        barrier.wait(); // window start: horizon published
+                        let h = horizon.load(Ordering::SeqCst);
+                        if h == STOP {
+                            break;
+                        }
+                        shard.run_window(h, env, &mut out);
+                        for ev in out.drain(..) {
+                            let EventKind::Deliver { to, .. } = &ev.kind else {
+                                unreachable!("only deliveries cross shards")
+                            };
+                            let dest = (to.node.0 % nshards) as usize;
+                            inboxes[dest].lock().expect("inbox poisoned").push(ev);
+                        }
+                        barrier.wait(); // all cross-shard sends flushed
+                        let mine = std::mem::take(&mut *inboxes[i].lock().expect("inbox poisoned"));
+                        for ev in mine {
+                            shard.in_flight += 1;
+                            shard.queue.push(Reverse(ev));
+                        }
+                        next_at[i].store(shard.head_us(), Ordering::SeqCst);
+                        barrier.wait(); // local minima published
+                    }
                 });
             }
-        }
-    }
-
-    /// Runs one callback on a node (if alive) and applies its effects.
-    fn invoke(&mut self, id: NodeId, f: impl FnOnce(&mut dyn Protocol, &mut Ctx<'_>)) {
-        let Some(nat_type) = self.nat.nat_type(id) else {
-            return;
-        };
-        // Temporarily detach the node so `Ctx` can borrow the rest of the
-        // simulator without aliasing.
-        let Some(mut proto) = self.nodes.remove(&id) else {
-            return;
-        };
-        let mut ctx = Ctx {
-            now: self.now,
-            id,
-            nat_type,
-            rng: &mut self.rng,
-            metrics: &mut self.metrics,
-            effects: Vec::new(),
-        };
-        f(proto.as_mut(), &mut ctx);
-        let effects = std::mem::take(&mut ctx.effects);
-        self.nodes.insert(id, proto);
-        self.apply_effects(id, effects);
-    }
-
-    fn apply_effects(&mut self, from: NodeId, effects: Vec<Effect>) {
-        for effect in effects {
-            match effect {
-                Effect::Timer { delay, token } => {
-                    self.push(delay, EventKind::Timer { node: from, token });
+            // Coordinator: computes each window from the published minima.
+            loop {
+                let t_next =
+                    next_at.iter().map(|a| a.load(Ordering::SeqCst)).min().unwrap_or(STOP);
+                if t_next > deadline_us {
+                    horizon.store(STOP, Ordering::SeqCst);
+                    barrier.wait(); // release workers to observe STOP
+                    break;
                 }
-                Effect::Send { to, data } => {
-                    self.metrics.record_up(from, data.len());
-                    // Loopback: skip NAT and loss, deliver with link delay.
-                    if to.node == from {
-                        let delay = self.cfg.profile.link.sample(&mut self.rng);
-                        let from_ep = Endpoint { node: from, port: 0 };
-                        self.push(delay, EventKind::Deliver { to, from, from_ep, data });
-                        continue;
-                    }
-                    let Some(dev) = self.nat.device_mut(from) else {
-                        // Sender vanished between callback and effect
-                        // application (cannot normally happen).
-                        self.metrics.count("net.drop_sender_gone", 1);
-                        continue;
-                    };
-                    let src_port = dev.outbound(to, self.now, self.cfg.nat_lease);
-                    let from_ep = Endpoint { node: from, port: src_port };
-                    if self.fault.partition_blocks(self.now, from, to.node) {
-                        self.metrics.count("net.drop_partition", 1);
-                        continue;
-                    }
-                    if self.cfg.profile.sample_loss(&mut self.rng) {
-                        self.metrics.count("net.lost", 1);
-                        continue;
-                    }
-                    if self.fault.burst_drop(self.now, &mut self.rng) {
-                        self.metrics.count("net.lost_burst", 1);
-                        continue;
-                    }
-                    let mut delay = self.cfg.profile.sample_delay(&mut self.rng);
-                    let factor = self.fault.delay_factor(self.now);
-                    if factor > 1 {
-                        delay = delay * factor;
-                        self.metrics.count("net.delay_spiked", 1);
-                    }
-                    self.push(delay, EventKind::Deliver { to, from, from_ep, data });
-                }
+                let h = t_next.saturating_add(lookahead).min(deadline_us.saturating_add(1));
+                horizon.store(h, Ordering::SeqCst);
+                barrier.wait(); // window start
+                barrier.wait(); // sends flushed
+                barrier.wait(); // minima published
             }
-        }
+        });
+    }
+
+    /// Pushes a control-plane event (owned by `node`'s shard).
+    fn push_control(&mut self, at: SimTime, node: NodeId, kind: EventKind) {
+        let at = at.max(self.now);
+        let seq = self.control_seq;
+        self.control_seq += 1;
+        let si = (node.0 % self.cfg.shards as u64) as usize;
+        self.shards[si].queue.push(Reverse(Event { at, src: CONTROL_SRC, seq, kind }));
+    }
+
+    fn slot(&self, id: NodeId) -> Option<&Slot> {
+        let shard = &self.shards[(id.0 % self.cfg.shards as u64) as usize];
+        let pos = shard.slot_pos(id)?;
+        Some(&shard.slots[pos])
+    }
+
+    fn slot_mut(&mut self, id: NodeId) -> Option<&mut Slot> {
+        let shard = &mut self.shards[(id.0 % self.cfg.shards as u64) as usize];
+        let pos = shard.slot_pos(id)?;
+        Some(&mut shard.slots[pos])
+    }
+
+    /// Drains every shard's delta metrics into the master sink in
+    /// canonical event order.
+    fn sync_metrics(&mut self) {
+        let deltas: Vec<Metrics> =
+            self.shards.iter_mut().map(|s| std::mem::take(&mut s.metrics)).collect();
+        self.metrics.merge_shard_deltas(deltas);
     }
 }
 
@@ -565,8 +1006,12 @@ impl std::fmt::Debug for Sim {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Sim")
             .field("now", &self.now)
-            .field("nodes", &self.nodes.len())
-            .field("pending_events", &self.queue.len())
+            .field("nodes", &self.len())
+            .field("shards", &self.shards.len())
+            .field(
+                "pending_events",
+                &self.shards.iter().map(|s| s.queue.len()).sum::<usize>(),
+            )
             .finish()
     }
 }
@@ -741,5 +1186,38 @@ mod tests {
         let mut sim = Sim::new(SimConfig::ideal(9));
         sim.run_until(SimTime::from_micros(123_456));
         assert_eq!(sim.now().as_micros(), 123_456);
+    }
+
+    /// The heart of the sharding contract: the same seed produces the
+    /// same trace for 1, 2 and 4 shards, sequential or threaded.
+    #[test]
+    fn sharded_run_matches_single_shard() {
+        fn run(shards: usize, threads: bool) -> (Vec<(&'static str, u64)>, Vec<u64>) {
+            let cfg = SimConfig::cluster(21).with_shards(shards).with_threads(threads);
+            let mut sim = Sim::new(cfg);
+            let hub = sim.add_node(Box::new(Pinger::new()), NatType::Public);
+            for _ in 0..7 {
+                let mut p = Pinger::new();
+                p.target = Some(Endpoint::public(hub));
+                p.periodic = true;
+                sim.add_node(Box::new(p), NatType::RestrictedCone);
+            }
+            sim.run_for_secs(10);
+            let counters =
+                sim.metrics().counter_names().map(|n| (n, sim.metrics().counter(n))).collect();
+            let traffic = sim
+                .node_ids()
+                .iter()
+                .map(|&id| {
+                    let t = sim.metrics().traffic(id);
+                    t.up_bytes ^ t.down_bytes.rotate_left(17) ^ (t.up_msgs << 32) ^ t.down_msgs
+                })
+                .collect();
+            (counters, traffic)
+        }
+        let base = run(1, false);
+        assert_eq!(base, run(2, false), "2 shards, sequential");
+        assert_eq!(base, run(4, false), "4 shards, sequential");
+        assert_eq!(base, run(4, true), "4 shards, threaded");
     }
 }

@@ -1,3 +1,11 @@
+//! Simulated time: microsecond-resolution instants and durations.
+//!
+//! [`SimTime`] is the *only* clock the engine and every protocol may
+//! consult — wall-clock time never enters a trace-visible path (the
+//! determinism contract, DESIGN.md §12). Time is a plain `u64` count of
+//! microseconds since the start of the run; it advances exclusively by
+//! event delivery, identically for every shard count and thread policy.
+
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 

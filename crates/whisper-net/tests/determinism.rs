@@ -69,7 +69,14 @@ impl Protocol for Chatter {
 /// profile (latency jitter + loss, so engine randomness shapes delivery)
 /// and returns the full serialized observable state.
 fn run_trace(seed: u64) -> Vec<u8> {
-    let mut sim = Sim::new(SimConfig::planetlab(seed));
+    run_trace_sharded(seed, 1, false)
+}
+
+/// [`run_trace`] with an explicit shard count and thread policy, for the
+/// shard-invariance matrix.
+fn run_trace_sharded(seed: u64, shards: usize, threaded: bool) -> Vec<u8> {
+    let mut sim =
+        Sim::new(SimConfig::planetlab(seed).with_shards(shards).with_threads(threaded));
     let peers: Vec<NodeId> = (0..16).map(NodeId).collect();
     for _ in 0..16u64 {
         // All nodes public so the chatter mesh is fully connected; the NAT
@@ -119,6 +126,31 @@ fn different_seed_differs() {
     assert_ne!(run_trace(1), run_trace(2), "seed does not influence the trace");
 }
 
+/// The determinism contract's strongest clause (DESIGN.md §12): the shard
+/// count and thread policy are *performance knobs*, invisible to the
+/// trace. For every seed in the matrix, the 2- and 4-shard runs —
+/// sequential and threaded — must be byte-identical to the 1-shard run,
+/// including every counter and per-node traffic figure.
+#[test]
+fn shard_count_is_invisible_to_the_trace() {
+    for seed in [7u64, 11, 13] {
+        let base = run_trace_sharded(seed, 1, false);
+        assert!(!base.is_empty(), "seed {seed}: empty trace proves nothing");
+        for shards in [2usize, 4] {
+            let sharded = run_trace_sharded(seed, shards, false);
+            assert!(
+                base == sharded,
+                "seed {seed}: {shards}-shard sequential trace diverged from 1-shard"
+            );
+        }
+        let threaded = run_trace_sharded(seed, 4, true);
+        assert!(
+            base == threaded,
+            "seed {seed}: 4-shard threaded trace diverged from 1-shard"
+        );
+    }
+}
+
 /// Runs the full WHISPER stack — PSS warm-up, then WCL sends that
 /// establish and then ride a cached circuit — and serializes every
 /// deterministic observable: all counters, all sample series *except* the
@@ -126,6 +158,12 @@ fn different_seed_differs() {
 /// host-dependent output; see DESIGN.md § "Deterministic crypto
 /// accounting"), per-node traffic, and the final clock.
 fn run_stack_trace(seed: u64) -> Vec<u8> {
+    run_stack_trace_sharded(seed, 1)
+}
+
+/// [`run_stack_trace`] with an explicit shard count (auto thread policy),
+/// proving the full crypto stack rides the contract too.
+fn run_stack_trace_sharded(seed: u64, shards: usize) -> Vec<u8> {
     use whisper_core::{WhisperConfig, WhisperNode};
     use whisper_crypto::rsa::KeyPair;
     use whisper_rand::rngs::StdRng;
@@ -134,7 +172,7 @@ fn run_stack_trace(seed: u64) -> Vec<u8> {
     let cfg = WhisperConfig::default();
     assert!(cfg.wcl.circuits, "circuit amortization is on by default");
     let mut keyrng = StdRng::seed_from_u64(seed);
-    let mut sim = Sim::new(SimConfig::cluster(seed));
+    let mut sim = Sim::new(SimConfig::cluster(seed).with_shards(shards));
     let mk = |boot: bool, keyrng: &mut StdRng| {
         let mut node = WhisperNode::new(cfg.clone(), KeyPair::generate(cfg.nylon.rsa, keyrng));
         if !boot {
@@ -204,6 +242,15 @@ fn full_stack_with_circuits_is_byte_identical() {
     assert!(a == b, "same-seed circuit-enabled runs are not byte-identical");
 }
 
+/// The full stack — PSS, Nylon, WCL circuits, the crypto cost model —
+/// produces the same bytes whether the engine runs 1 shard or 4.
+#[test]
+fn full_stack_is_shard_invariant() {
+    let a = run_stack_trace_sharded(0xC1AC_0137, 1);
+    let b = run_stack_trace_sharded(0xC1AC_0137, 4);
+    assert!(a == b, "4-shard full-stack trace diverged from 1-shard");
+}
+
 /// Runs the chatter mesh under a scripted [`FaultPlan`] covering every
 /// fault type — partition, Gilbert–Elliott burst loss, latency spike,
 /// crash-and-restart, NAT rebinding — and serializes the observable
@@ -211,10 +258,17 @@ fn full_stack_with_circuits_is_byte_identical() {
 /// deferred-timer ordering across a restart) all draw from the engine
 /// RNG, so they must replay byte-for-byte.
 fn run_fault_trace(seed: u64) -> Vec<u8> {
+    run_fault_trace_sharded(seed, 1)
+}
+
+/// [`run_fault_trace`] with an explicit shard count (auto thread policy):
+/// crash/restart deferral, burst chains and drop attribution are applied
+/// shard-locally and must not leak the partitioning.
+fn run_fault_trace_sharded(seed: u64, shards: usize) -> Vec<u8> {
     use whisper_net::fault::{FaultPlan, GilbertElliott};
     use whisper_net::SimTime;
 
-    let mut sim = Sim::new(SimConfig::planetlab(seed));
+    let mut sim = Sim::new(SimConfig::planetlab(seed).with_shards(shards));
     let peers: Vec<NodeId> = (0..16).map(NodeId).collect();
     for _ in 0..16u64 {
         sim.add_node(
@@ -284,4 +338,19 @@ fn fault_plan_run_is_byte_identical() {
         run_fault_trace(0xFA_018),
         "seed does not influence the fault-plan trace"
     );
+}
+
+/// Every fault type fires identically whether the victims share a shard
+/// or are spread across four.
+#[test]
+fn fault_plan_is_shard_invariant() {
+    for seed in [7u64, 11, 13] {
+        let base = run_fault_trace_sharded(seed, 1);
+        for shards in [2usize, 4] {
+            assert!(
+                base == run_fault_trace_sharded(seed, shards),
+                "seed {seed}: {shards}-shard fault-plan trace diverged from 1-shard"
+            );
+        }
+    }
 }

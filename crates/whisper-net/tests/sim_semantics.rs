@@ -111,6 +111,45 @@ fn removing_receiver_mid_flight_drops_cleanly() {
     assert!(sim.metrics().counter("net.drop_dead_target") > 0);
 }
 
+/// Removal while deliveries are in flight must keep the accounting
+/// identity exact and stay O(1): the removed node's queued messages are
+/// attributed to `net.drop_dead_target` when they surface, and the
+/// engine's incremental in-flight counter never drifts — including when
+/// the removed node lives on a non-zero shard.
+#[test]
+fn removal_during_in_flight_delivery_keeps_accounting_exact() {
+    for shards in [1usize, 4] {
+        let mut sim = Sim::new(SimConfig::planetlab(6).with_shards(shards).with_threads(false));
+        let sink = sim.add_node(Box::new(Recorder { received: Vec::new() }), NatType::Public);
+        sim.add_node(Box::new(Burst { target: sink, count: 300 }), NatType::Public);
+        sim.run_for(SimDuration::from_millis(20));
+        let in_flight_before = sim.in_flight_msgs();
+        assert!(in_flight_before > 0, "burst must still be in flight");
+        sim.remove_node(sink);
+        assert!(!sim.contains(sink), "removed node is gone");
+        assert!(!sim.is_down(sink), "removed is distinct from crashed");
+        assert_eq!(
+            sim.in_flight_msgs(),
+            in_flight_before,
+            "removal must not forget queued deliveries ({shards} shards)"
+        );
+        sim.run_for_secs(60);
+        let m = sim.metrics();
+        let delivered: u64 = m
+            .traffic_snapshot()
+            .values()
+            .map(|t| t.down_msgs)
+            .sum();
+        assert_eq!(sim.in_flight_msgs(), 0, "everything drained");
+        assert_eq!(
+            delivered + m.counter("net.drop_dead_target") + m.counter("net.lost"),
+            300,
+            "every send delivered, dropped-dead, or lost ({shards} shards)"
+        );
+        assert!(m.counter("net.drop_dead_target") > 0);
+    }
+}
+
 #[test]
 fn node_ids_are_never_reused() {
     let mut sim = Sim::new(SimConfig::ideal(5));
