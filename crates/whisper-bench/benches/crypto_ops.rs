@@ -142,9 +142,58 @@ fn bench_bignum(c: &mut Bench) {
     group.finish();
 }
 
+/// Fixed-window vs binary Montgomery exponentiation — the PR 7 RSA
+/// hot-path change. The 512-bit cell is one CRT half of a `Std1024`
+/// decrypt/sign (the private-op core); the 1024-bit cell is the
+/// non-CRT worst case. Derived `modpow_window_speedup_*` ratios land
+/// in the JSON export; binary scans one bit per iteration while the
+/// 4-bit window does 4 squarings plus at most one table multiply per
+/// 4 bits, so the expected win is ~1.15–1.25× on random exponents.
+fn bench_modpow(c: &mut Bench) {
+    use whisper_crypto::bignum::{BigUint, Montgomery};
+    let mut rng = StdRng::seed_from_u64(10);
+    {
+        let mut group = c.group("bignum");
+        for bits in [512usize, 1024] {
+            let limbs = bits / 64;
+            let mut modulus_bytes: Vec<u8> = (0..limbs * 8).map(|_| rng.gen()).collect();
+            modulus_bytes[0] |= 0x80; // full width
+            *modulus_bytes.last_mut().unwrap() |= 1; // odd, as Montgomery requires
+            let modulus = BigUint::from_bytes_be(&modulus_bytes);
+            let base_bytes: Vec<u8> = (0..limbs * 8 - 1).map(|_| rng.gen()).collect();
+            let exp_bytes: Vec<u8> = (0..limbs * 8).map(|_| rng.gen()).collect();
+            let base = BigUint::from_bytes_be(&base_bytes);
+            let exp = BigUint::from_bytes_be(&exp_bytes);
+            let mont = Montgomery::new(&modulus);
+            group.bench_function(format!("modpow_window/{bits}bit"), |b| {
+                b.iter(|| mont.pow(&base, &exp))
+            });
+            group.bench_function(format!("modpow_binary/{bits}bit"), |b| {
+                b.iter(|| mont.pow_binary(&base, &exp))
+            });
+        }
+        group.finish();
+    }
+    for bits in [512usize, 1024] {
+        let win = c.median_of(&format!("bignum/modpow_window/{bits}bit"));
+        let bin = c.median_of(&format!("bignum/modpow_binary/{bits}bit"));
+        if let (Some(win), Some(bin)) = (win, bin) {
+            let speedup = bin / win;
+            println!(
+                "bignum/modpow_window_speedup_{bits}bit      {speedup:.2}x \
+                 (binary {:.1} µs vs 4-bit window {:.1} µs)",
+                bin / 1e3,
+                win / 1e3,
+            );
+            c.record(format!("bignum/modpow_window_speedup_{bits}bit"), speedup);
+        }
+    }
+}
+
 fn main() {
     let mut bench = Bench::from_args();
     bench_rsa(&mut bench);
+    bench_modpow(&mut bench);
     bench_aes(&mut bench);
     bench_sha256(&mut bench);
     bench_onion(&mut bench);

@@ -70,7 +70,7 @@ impl Protocol for Flooder {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         ctx.set_timer(SimDuration::from_millis(1), 1);
     }
-    fn on_message(&mut self, _ctx: &mut Ctx<'_>, _f: NodeId, _e: Endpoint, _d: &[u8]) {
+    fn on_message(&mut self, _ctx: &mut Ctx<'_>, _f: NodeId, _e: Endpoint, _d: &whisper_net::Payload) {
         self.received += 1;
     }
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {

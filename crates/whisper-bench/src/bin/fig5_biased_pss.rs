@@ -4,17 +4,32 @@
 //! * `--no-oldest-p-discard` — ablation: protect P-node slots by
 //!   seniority instead of freshness;
 //! * `--nodes N` / `--shards S` — override the population size and the
-//!   engine shard count (DESIGN.md §12);
+//!   engine shard count (DESIGN.md §12); with `--scale` they restrict
+//!   the sweep to the single `(N, S)` cell;
 //! * `--scale` — run the scale-out sweep (PSS-only nodes-per-second
-//!   curve, 384→10k nodes × 1/2/4/8 shards) instead of Fig. 5.
+//!   curve, 384→100k nodes × 1/2/4/8 shards) instead of Fig. 5;
+//! * `--allocs` — run the payload-pool A/B (heap allocations per send,
+//!   pooling on vs off; DESIGN.md §13) instead of Fig. 5.
 
 use whisper_bench::experiments::{self, fig5, scaling};
 
 fn main() {
     let quick = experiments::quick_flag();
-    if std::env::args().any(|a| a == "--scale") {
-        let params = if quick { scaling::Params::quick() } else { scaling::Params::paper() };
-        scaling::run(scaling::Stack::Pss, &params);
+    let scale = std::env::args().any(|a| a == "--scale");
+    let allocs = std::env::args().any(|a| a == "--allocs");
+    if scale || allocs {
+        let mut params = if quick { scaling::Params::quick() } else { scaling::Params::paper() };
+        if let Some(nodes) = experiments::arg_value("--nodes") {
+            params.nodes = vec![nodes];
+        }
+        if let Some(shards) = experiments::arg_value("--shards") {
+            params.shards = vec![shards];
+        }
+        if allocs {
+            scaling::run_allocs(&params);
+        } else {
+            scaling::run(scaling::Stack::Pss, &params);
+        }
         return;
     }
     let mut params = if quick { fig5::Params::quick() } else { fig5::Params::paper() };

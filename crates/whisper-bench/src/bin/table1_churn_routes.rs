@@ -5,16 +5,23 @@
 //!   partition, adaptive vs. fixed RTO; medians land in
 //!   `WHISPER_BENCH_JSON` when set);
 //! * `--nodes N` / `--shards S` — override the population size and the
-//!   engine shard count (DESIGN.md §12);
+//!   engine shard count (DESIGN.md §12); with `--scale` they restrict
+//!   the sweep to the single `(N, S)` cell;
 //! * `--scale` — run the scale-out sweep (full-stack nodes-per-second
-//!   curve, 384→10k nodes × 1/2/4/8 shards) instead of Table I.
+//!   curve, 384→100k nodes × 1/2/4/8 shards) instead of Table I.
 
 use whisper_bench::experiments::{self, scaling, table1};
 
 fn main() {
     let quick = experiments::quick_flag();
     if std::env::args().any(|a| a == "--scale") {
-        let params = if quick { scaling::Params::quick() } else { scaling::Params::paper() };
+        let mut params = if quick { scaling::Params::quick() } else { scaling::Params::paper() };
+        if let Some(nodes) = experiments::arg_value("--nodes") {
+            params.nodes = vec![nodes];
+        }
+        if let Some(shards) = experiments::arg_value("--shards") {
+            params.shards = vec![shards];
+        }
         scaling::run(scaling::Stack::Whisper, &params);
         return;
     }

@@ -64,11 +64,11 @@ pub struct Params {
 }
 
 impl Params {
-    /// The full scaling curve: 384 → 1k → 4k → 10k nodes at 1/2/4/8
-    /// shards.
+    /// The full scaling curve: 384 → 1k → 4k → 10k → 100k nodes at
+    /// 1/2/4/8 shards.
     pub fn paper() -> Self {
         Params {
-            nodes: vec![384, 1000, 4000, 10_000],
+            nodes: vec![384, 1000, 4000, 10_000, 100_000],
             shards: vec![1, 2, 4, 8],
             secs: 60,
             seed: 7,
@@ -79,27 +79,51 @@ impl Params {
     pub fn quick() -> Self {
         Params { nodes: vec![384, 1000], shards: vec![1, 4], secs: 20, ..Params::paper() }
     }
+
+    /// Simulated seconds for one cell. Populations of 50k+ get a
+    /// shortened window so the 100k cells stay minutes-not-hours; the
+    /// per-node event rate is steady after startup, so a shorter window
+    /// measures the same thing.
+    pub fn window_secs(&self, nodes: usize) -> u64 {
+        if nodes >= 50_000 {
+            self.secs.min(20)
+        } else {
+            self.secs
+        }
+    }
 }
 
-/// Builds one cell's population and returns the wall seconds the timed
-/// simulation window took.
-fn run_cell(stack: Stack, nodes: usize, shards: usize, params: &Params) -> f64 {
+/// One timed cell's raw results.
+struct Cell {
+    /// Wall seconds the simulated window took.
+    wall: f64,
+    /// Honest heap-allocation count for payload buffers:
+    /// `net.allocs + net.pool_misses` (a disabled pool records nothing,
+    /// so the sum is comparable across pooling modes; DESIGN.md §13).
+    allocs: u64,
+    /// Total sends — every send classifies its payload's provenance
+    /// exactly once, so the three provenance counters sum to it.
+    sends: u64,
+}
+
+/// Builds one cell's population and runs the timed simulation window.
+fn run_cell(stack: Stack, nodes: usize, shards: usize, pooling: bool, params: &Params) -> Cell {
     let mut builder = NetBuilder::cluster(nodes, params.seed);
-    builder.sim = builder.sim.clone().with_shards(shards);
+    builder.sim = builder.sim.clone().with_shards(shards).with_pooling(pooling);
     builder.key_cycle = Some(256);
-    match stack {
-        Stack::Pss => {
-            let mut net = builder.build_pss(&NylonConfig::default());
-            let start = Instant::now();
-            net.sim.run_for_secs(params.secs);
-            start.elapsed().as_secs_f64()
-        }
-        Stack::Whisper => {
-            let mut net = builder.build_whisper(|_| Box::new(NoApp));
-            let start = Instant::now();
-            net.sim.run_for_secs(params.secs);
-            start.elapsed().as_secs_f64()
-        }
+    let mut sim = match stack {
+        Stack::Pss => builder.build_pss(&NylonConfig::default()).sim,
+        Stack::Whisper => builder.build_whisper(|_| Box::new(NoApp)).sim,
+    };
+    let start = Instant::now();
+    sim.run_for_secs(params.window_secs(nodes));
+    let wall = start.elapsed().as_secs_f64();
+    let m = sim.metrics();
+    let fresh = m.counter("net.allocs");
+    Cell {
+        wall,
+        allocs: fresh + m.counter("net.pool_misses"),
+        sends: fresh + m.counter("net.payload_cloned") + m.counter("net.payload_pooled"),
     }
 }
 
@@ -112,20 +136,33 @@ pub fn run(stack: Stack, params: &Params) {
         &format!("{}-stack nodes-per-second vs. population and shard count", stack.name()),
     );
     println!(
-        "window={}s seed={} key_cycle=256 (wall-clock timing: host-dependent by design)",
+        "window={}s (20s at 50k+) seed={} key_cycle=256 \
+         (wall-clock timing: host-dependent by design)",
         params.secs, params.seed
     );
-    println!("{:<8} {:>7} {:>12} {:>16}", "nodes", "shards", "wall (s)", "nodes/sec");
+    println!(
+        "{:<8} {:>7} {:>12} {:>16} {:>14}",
+        "nodes", "shards", "wall (s)", "nodes/sec", "allocs/send"
+    );
     let mut bench = Bench::new();
     let mut best: Option<(usize, usize, f64)> = None;
     for &nodes in &params.nodes {
         for &shards in &params.shards {
-            let wall = run_cell(stack, nodes, shards, params);
-            let nodes_per_sec = nodes as f64 * params.secs as f64 / wall.max(1e-9);
-            println!("{nodes:<8} {shards:>7} {wall:>12.2} {nodes_per_sec:>16.0}");
+            let cell = run_cell(stack, nodes, shards, true, params);
+            let secs = params.window_secs(nodes);
+            let nodes_per_sec = nodes as f64 * secs as f64 / cell.wall.max(1e-9);
+            let allocs_per_send = cell.allocs as f64 / cell.sends.max(1) as f64;
+            println!(
+                "{nodes:<8} {shards:>7} {:>12.2} {nodes_per_sec:>16.0} {allocs_per_send:>14.3}",
+                cell.wall
+            );
             bench.record(
                 format!("scaling/{}_n{nodes}_s{shards}_nodes_per_sec", stack.name()),
                 nodes_per_sec,
+            );
+            bench.record(
+                format!("scaling/{}_n{nodes}_s{shards}_allocs_per_send", stack.name()),
+                allocs_per_send,
             );
             if best.is_none_or(|(_, _, b)| nodes_per_sec > b) {
                 best = Some((nodes, shards, nodes_per_sec));
@@ -141,5 +178,45 @@ pub fn run(stack: Stack, params: &Params) {
             shards
         );
     }
+    bench.emit_json();
+}
+
+/// Payload-pool A/B: the same full-stack population and window with the
+/// pool on and off. Pooling is invisible to the simulated trace (the
+/// determinism suite proves byte-identical traces), so both runs do
+/// identical protocol work and the allocation counts are directly
+/// comparable. Records allocs-per-send for both modes plus the
+/// reduction ratio — the PR 7 acceptance number.
+pub fn run_allocs(params: &Params) {
+    report::banner(
+        "Allocations",
+        "payload-pool A/B: heap allocations per send, pooling on vs off",
+    );
+    let nodes = params.nodes.first().copied().unwrap_or(1000);
+    let secs = params.window_secs(nodes);
+    println!("whisper stack, {nodes} nodes, 1 shard, window={secs}s seed={}", params.seed);
+    let on = run_cell(Stack::Whisper, nodes, 1, true, params);
+    let off = run_cell(Stack::Whisper, nodes, 1, false, params);
+    assert_eq!(
+        on.sends, off.sends,
+        "pooling must not change how many messages the protocols send"
+    );
+    let per_on = on.allocs as f64 / on.sends.max(1) as f64;
+    let per_off = off.allocs as f64 / off.sends.max(1) as f64;
+    let reduction = per_off / per_on.max(1e-12);
+    println!(
+        "{:<10} {:>12} {:>14} {:>14}",
+        "pooling", "sends", "allocs", "allocs/send"
+    );
+    println!("{:<10} {:>12} {:>14} {:>14.4}", "on", on.sends, on.allocs, per_on);
+    println!("{:<10} {:>12} {:>14} {:>14.4}", "off", off.sends, off.allocs, per_off);
+    println!(
+        "allocs: pooled {per_on:.4} vs unpooled {per_off:.4} allocs/send \
+         ({reduction:.1}x reduction)"
+    );
+    let mut bench = Bench::new();
+    bench.record("allocs/whisper_pooled_allocs_per_send", per_on);
+    bench.record("allocs/whisper_unpooled_allocs_per_send", per_off);
+    bench.record("allocs/reduction_x", reduction);
     bench.emit_json();
 }

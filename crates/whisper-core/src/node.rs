@@ -9,7 +9,7 @@ use crate::ppss::{Ppss, PpssConfig, PpssEvent, PrivateEntry, TIMER_PCP_REFRESH, 
 use crate::wcl::{Wcl, WclConfig, WclEvent, TIMER_WCL_RETRY};
 use whisper_crypto::rsa::KeyPair;
 use whisper_net::sim::{Ctx, Protocol};
-use whisper_net::{Endpoint, NodeId, SimDuration};
+use whisper_net::{Endpoint, NodeId, Payload, SimDuration};
 use whisper_pss::{NylonConfig, NylonCore, NylonEvent};
 
 /// Timer token kind reserved for applications (low byte).
@@ -308,7 +308,7 @@ impl Protocol for WhisperNode {
         self.ppss.on_restart();
     }
 
-    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, from_ep: Endpoint, data: &[u8]) {
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, from_ep: Endpoint, data: &Payload) {
         let nylon_events = self.nylon.on_message(ctx, from, from_ep, data);
         for event in nylon_events {
             match event {

@@ -1015,7 +1015,10 @@ impl Wcl {
         let entry = entry.clone();
         let cost_before = whisper_crypto::costs::snapshot();
         let wall_started = std::time::Instant::now();
-        let body = circuit::peel_layer(&entry.key, &packet.nonce, &packet.body);
+        // The packet body is uniquely owned here, so the layer is peeled
+        // in place: the steady-state relay path allocates no output body.
+        let mut body = packet.body;
+        circuit::peel_layer_in_place(&entry.key, &packet.nonce, &mut body);
         let cost = whisper_crypto::costs::snapshot().since(cost_before);
         ctx.metrics().sample("wcl.circuit_fwd_us", cost.aes_model_ns() as f64 / 1000.0);
         ctx.metrics().sample(

@@ -261,11 +261,22 @@ impl Aes128 {
     ///
     /// Elapsed time is accounted in [`crate::costs`].
     pub fn ctr_apply(&self, nonce: &CtrNonce, data: &[u8]) -> Vec<u8> {
-        let started = std::time::Instant::now();
         let mut out = data.to_vec();
+        self.ctr_apply_in_place(nonce, &mut out);
+        out
+    }
+
+    /// [`Aes128::ctr_apply`] without the output allocation: CTR is a pure
+    /// length-preserving XOR, so a caller that owns its buffer can layer
+    /// and strip in place. This is the relay hot path — one circuit hop
+    /// costs exactly one in-place pass over the body.
+    ///
+    /// Elapsed time is accounted in [`crate::costs`].
+    pub fn ctr_apply_in_place(&self, nonce: &CtrNonce, data: &mut [u8]) {
+        let started = std::time::Instant::now();
         let mut counter_block = [0u8; 16];
         counter_block[..8].copy_from_slice(&nonce.0);
-        for (block_idx, chunk) in out.chunks_mut(16).enumerate() {
+        for (block_idx, chunk) in data.chunks_mut(16).enumerate() {
             counter_block[8..].copy_from_slice(&(block_idx as u64).to_be_bytes());
             let mut keystream = counter_block;
             self.encrypt_block(&mut keystream);
@@ -275,7 +286,6 @@ impl Aes128 {
         }
         crate::costs::add_aes_blocks(data.len().div_ceil(16) as u64);
         crate::costs::add_aes(started.elapsed().as_nanos() as u64);
-        out
     }
 }
 

@@ -21,6 +21,7 @@ mod karatsuba;
 mod modular;
 mod prime;
 
+pub use modular::Montgomery;
 pub use prime::{gen_prime, is_probable_prime};
 
 use std::cmp::Ordering;

@@ -11,7 +11,7 @@ use super::BigUint;
 ///
 /// Conversion into Montgomery form costs one division; each multiplication
 /// inside the domain is then division-free (CIOS algorithm).
-pub(crate) struct Montgomery {
+pub struct Montgomery {
     m: Vec<u64>,
     /// `-m[0]^-1 mod 2^64`.
     n0: u64,
@@ -110,13 +110,84 @@ impl Montgomery {
         BigUint::from_limbs(self.mont_mul(v, &one))
     }
 
-    /// Computes `base^exp mod m` by left-to-right square-and-multiply.
+    /// Exponents below this many bits use plain square-and-multiply: the
+    /// fixed-window table costs `WINDOW_TABLE_MULS` multiplications up
+    /// front, which never amortizes for short, sparse exponents like the
+    /// RSA public exponent 65537 (binary: 18 muls; windowed: ≈ 35).
+    const WINDOW_MIN_BITS: usize = 64;
+
+    /// Computes `base^exp mod m`.
+    ///
+    /// Long exponents (private-key operations: CRT decrypt, sign) run
+    /// fixed-window left-to-right exponentiation with
+    /// `2^WINDOW_BITS`-ary precomputation; short ones fall back to
+    /// [`Montgomery::pow_binary`]. For a uniformly random `e`-bit
+    /// exponent, binary costs `e` squarings plus `e/2` multiplies while
+    /// the 4-bit window costs `e` squarings plus `e/4 · 15/16` table
+    /// multiplies plus 14 precompute multiplies — ≈ 17% fewer `mont_mul`
+    /// calls at RSA sizes.
     ///
     /// Accounts `n² × mont_mul-calls` deterministic limb-operation units
     /// in [`crate::costs`] (one unit per CIOS inner-loop step), so the
     /// cost model tracks the actual multiplication count of this exact
-    /// exponent.
+    /// exponent and window schedule.
     pub fn pow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        if exp.bits() < Self::WINDOW_MIN_BITS {
+            return self.pow_binary(base, exp);
+        }
+        let base = base.rem(&BigUint::from_limbs(self.m.clone()));
+        let mb = self.to_mont(&base);
+        let mont_one = self.to_mont(&BigUint::one());
+        let mut muls: u64 = 2; // the two to_mont conversions above
+
+        // Precompute table[d] = base^d for d in 1..16 (table[0] unused;
+        // zero windows are squarings only).
+        const TABLE_SIZE: usize = 1 << WINDOW_BITS;
+        let mut table: Vec<Vec<u64>> = Vec::with_capacity(TABLE_SIZE);
+        table.push(mont_one.clone());
+        table.push(mb);
+        for d in 2..TABLE_SIZE {
+            table.push(self.mont_mul(&table[d - 1], &table[1]));
+            muls += 1;
+        }
+        debug_assert_eq!(muls, 2 + WINDOW_TABLE_MULS);
+
+        // Left-to-right over 4-bit windows, most significant first. The
+        // top window may be short; processing it like any other keeps the
+        // loop uniform (leading squarings of 1 are still mont_muls and
+        // are accounted as such — the cost model charges what runs).
+        let bits = exp.bits();
+        let windows = bits.div_ceil(WINDOW_BITS);
+        let mut acc = mont_one;
+        for w in (0..windows).rev() {
+            for _ in 0..WINDOW_BITS {
+                acc = self.mont_mul(&acc, &acc);
+                muls += 1;
+            }
+            let mut digit = 0usize;
+            for b in 0..WINDOW_BITS {
+                let bit_idx = w * WINDOW_BITS + (WINDOW_BITS - 1 - b);
+                digit <<= 1;
+                if bit_idx < bits && exp.bit(bit_idx) {
+                    digit |= 1;
+                }
+            }
+            if digit != 0 {
+                acc = self.mont_mul(&acc, &table[digit]);
+                muls += 1;
+            }
+        }
+        muls += 1; // from_mont below
+        let n = self.len() as u64;
+        crate::costs::add_rsa_limb_ops(muls * n * n);
+        self.from_mont(&acc)
+    }
+
+    /// Plain left-to-right binary square-and-multiply — the reference
+    /// implementation the windowed path is validated (and benchmarked)
+    /// against, and the fast path for short exponents. Same deterministic
+    /// limb-op accounting as [`Montgomery::pow`].
+    pub fn pow_binary(&self, base: &BigUint, exp: &BigUint) -> BigUint {
         if exp.is_zero() {
             return BigUint::one().rem(&BigUint::from_limbs(self.m.clone()));
         }
@@ -138,6 +209,15 @@ impl Montgomery {
         self.from_mont(&acc)
     }
 }
+
+/// Window width of the fixed-window exponentiation (4 bits = hexadecimal
+/// digits). 4 is the sweet spot at 512–2048-bit exponents: width 5 would
+/// double the table cost (30 muls) for one fewer table multiply per 20
+/// exponent bits.
+const WINDOW_BITS: usize = 4;
+/// Multiplications spent building the 2^[`WINDOW_BITS`]-entry power
+/// table (entries 2..16; entry 0 is one, entry 1 is the base).
+const WINDOW_TABLE_MULS: u64 = (1 << WINDOW_BITS) - 2;
 
 fn cmp_limbs(a: &[u64], b: &[u64]) -> std::cmp::Ordering {
     debug_assert_eq!(a.len(), b.len());
@@ -307,6 +387,79 @@ mod tests {
             }
         }
         assert_eq!(fast, acc);
+    }
+
+    /// Deterministic pseudo-random limbs for exponentiation tests
+    /// (splitmix64 — no RNG dependency inside the bignum module).
+    fn mix_limbs(seed: u64, n: usize) -> Vec<u64> {
+        let mut x = seed;
+        (0..n)
+            .map(|_| {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn windowed_pow_matches_binary() {
+        let mut m_limbs = mix_limbs(1, 4);
+        m_limbs[0] |= 1; // odd modulus
+        let m = BigUint::from_limbs(m_limbs);
+        let ctx = Montgomery::new(&m);
+        for seed in 2..8u64 {
+            let base = BigUint::from_limbs(mix_limbs(seed, 3));
+            // Exponents straddling the window threshold, including
+            // multi-limb ones with long zero runs.
+            for exp in [
+                BigUint::from(65537u64),
+                BigUint::from_limbs(mix_limbs(seed + 100, 2)),
+                BigUint::from_limbs(vec![1, 0, 0, 0x8000_0000_0000_0000]),
+                BigUint::from_limbs(mix_limbs(seed + 200, 8)),
+            ] {
+                assert_eq!(
+                    ctx.pow(&base, &exp),
+                    ctx.pow_binary(&base, &exp),
+                    "windowed and binary exponentiation diverged (seed {seed})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn windowed_pow_costs_fewer_limb_ops_on_long_exponents() {
+        let mut m_limbs = mix_limbs(9, 8);
+        m_limbs[0] |= 1;
+        let m = BigUint::from_limbs(m_limbs);
+        let ctx = Montgomery::new(&m);
+        let base = BigUint::from_limbs(mix_limbs(10, 7));
+        let exp = BigUint::from_limbs(mix_limbs(11, 8)); // ~512-bit exponent
+        let before = crate::costs::snapshot();
+        let _ = ctx.pow_binary(&base, &exp);
+        let binary = crate::costs::snapshot().since(before).rsa_limb_ops;
+        let before = crate::costs::snapshot();
+        let _ = ctx.pow(&base, &exp);
+        let windowed = crate::costs::snapshot().since(before).rsa_limb_ops;
+        // Expected ≈ 649/771 ≈ 0.84 of the binary cost for a random
+        // 512-bit exponent; assert a conservative corridor.
+        assert!(windowed < binary, "windowed ({windowed}) not cheaper than binary ({binary})");
+        assert!(
+            windowed * 100 <= binary * 92 && windowed * 100 >= binary * 70,
+            "windowed/binary ratio out of corridor: {windowed}/{binary}"
+        );
+        // Short exponents take the binary path, so the table is never
+        // wasted on e = 65537.
+        let e = BigUint::from(65537u64);
+        let before = crate::costs::snapshot();
+        let _ = ctx.pow(&base, &e);
+        let short_windowed = crate::costs::snapshot().since(before).rsa_limb_ops;
+        let before = crate::costs::snapshot();
+        let _ = ctx.pow_binary(&base, &e);
+        let short_binary = crate::costs::snapshot().since(before).rsa_limb_ops;
+        assert_eq!(short_windowed, short_binary, "short exponents must use the binary path");
     }
 
     #[test]

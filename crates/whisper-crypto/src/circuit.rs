@@ -170,23 +170,48 @@ pub fn next_nonce(nonce: &CtrNonce) -> CtrNonce {
 /// `i`-th nonce in the [`next_nonce`] chain from `nonce0` — strips
 /// exactly the outermost remaining layer.
 pub fn seal_layers(keys: &[AesKey], nonce0: &CtrNonce, payload: &[u8]) -> Vec<u8> {
-    let mut nonces = Vec::with_capacity(keys.len());
-    let mut n = *nonce0;
-    for _ in keys {
-        nonces.push(n);
-        n = next_nonce(&n);
-    }
     let mut body = payload.to_vec();
-    for (key, nonce) in keys.iter().zip(nonces.iter()).rev() {
-        body = Aes128::new(key).ctr_apply(nonce, &body);
-    }
+    seal_layers_in_place(keys, nonce0, &mut body);
     body
+}
+
+/// [`seal_layers`] on a caller-owned buffer: CTR layers are
+/// length-preserving, so the whole source-side layering runs in one
+/// allocation-free pass per hop instead of one fresh buffer per layer.
+pub fn seal_layers_in_place(keys: &[AesKey], nonce0: &CtrNonce, body: &mut [u8]) {
+    let mut nonces = [CtrNonce([0; 8]); 8];
+    let mut overflow; // paths longer than 8 hops fall back to a Vec
+    let nonce_chain: &[CtrNonce] = if keys.len() <= nonces.len() {
+        let mut n = *nonce0;
+        for slot in nonces.iter_mut().take(keys.len()) {
+            *slot = n;
+            n = next_nonce(&n);
+        }
+        &nonces[..keys.len()]
+    } else {
+        overflow = Vec::with_capacity(keys.len());
+        let mut n = *nonce0;
+        for _ in keys {
+            overflow.push(n);
+            n = next_nonce(&n);
+        }
+        &overflow
+    };
+    for (key, nonce) in keys.iter().zip(nonce_chain.iter()).rev() {
+        Aes128::new(key).ctr_apply_in_place(nonce, body);
+    }
 }
 
 /// Strips one circuit layer — the entire steady-state crypto cost of a
 /// hop.
 pub fn peel_layer(key: &AesKey, nonce: &CtrNonce, body: &[u8]) -> Vec<u8> {
     Aes128::new(key).ctr_apply(nonce, body)
+}
+
+/// [`peel_layer`] on a caller-owned buffer: the relay forwarding path
+/// strips its layer without allocating an output body.
+pub fn peel_layer_in_place(key: &AesKey, nonce: &CtrNonce, body: &mut [u8]) {
+    Aes128::new(key).ctr_apply_in_place(nonce, body);
 }
 
 /// What a hop remembers about one circuit.
@@ -350,6 +375,32 @@ mod tests {
             body = peel_layer(&setup.key, &nonce, &body);
             nonce = next_nonce(&nonce);
             assert!(!leaks(&body), "payload visible before the last hop");
+        }
+    }
+
+    #[test]
+    fn in_place_seal_and_peel_match_allocating_forms() {
+        let mut rng = StdRng::seed_from_u64(11);
+        // Cover both the stack-array nonce chain (≤ 8 hops) and the Vec
+        // overflow path (> 8 hops).
+        for hops in [1usize, 3, 8, 9, 12] {
+            let (source, setups) = establish(hops, &mut rng);
+            let payload: Vec<u8> = (0..100u8).collect();
+            let nonce0 = CtrNonce([3; 8]);
+            let sealed = seal_layers(&source.keys, &nonce0, &payload);
+            let mut sealed_in_place = payload.clone();
+            seal_layers_in_place(&source.keys, &nonce0, &mut sealed_in_place);
+            assert_eq!(sealed, sealed_in_place, "{hops} hops: seal forms diverge");
+
+            let mut nonce = nonce0;
+            let mut body = sealed_in_place;
+            for setup in &setups {
+                let reference = peel_layer(&setup.key, &nonce, &body);
+                peel_layer_in_place(&setup.key, &nonce, &mut body);
+                assert_eq!(reference, body, "{hops} hops: peel forms diverge");
+                nonce = next_nonce(&nonce);
+            }
+            assert_eq!(body, payload);
         }
     }
 

@@ -201,7 +201,7 @@ mod tests {
     struct Noop;
     impl Protocol for Noop {
         fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
-        fn on_message(&mut self, _: &mut Ctx<'_>, _: NodeId, _: Endpoint, _: &[u8]) {}
+        fn on_message(&mut self, _: &mut Ctx<'_>, _: NodeId, _: Endpoint, _: &crate::Payload) {}
         fn on_timer(&mut self, _: &mut Ctx<'_>, _: u64) {}
         fn as_any(&self) -> &dyn std::any::Any {
             self

@@ -24,6 +24,10 @@
 //! * [`wire`] — a small binary codec; every simulated message is really
 //!   encoded, so byte counts (and therefore bandwidth results) come from
 //!   actual serialized sizes.
+//! * [`payload`] — reference-counted message buffers ([`Payload`]) and
+//!   the per-shard recycling pools that make the event hot path
+//!   allocation-lean (fan-out clones instead of copies, buffers reused
+//!   across events).
 //! * [`metrics`] — per-node bandwidth accounting and generic
 //!   counters/samples shared by the experiment harness.
 //! * [`stats`] — CDF / percentile helpers used to print the paper's plots.
@@ -46,6 +50,7 @@ pub mod fault;
 pub mod latency;
 pub mod metrics;
 pub mod nat;
+pub mod payload;
 pub mod sim;
 pub mod stats;
 pub mod wire;
@@ -54,4 +59,5 @@ mod id;
 mod time;
 
 pub use id::{Endpoint, NodeId};
+pub use payload::Payload;
 pub use time::{SimDuration, SimTime};

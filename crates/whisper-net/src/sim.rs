@@ -28,6 +28,10 @@
 //!   profile's [`minimum delay`](crate::latency::NetProfile::min_delay)),
 //!   so each shard processes an identical event sequence regardless of
 //!   when its neighbours run.
+//! * Message bytes travel as reference-counted [`Payload`] buffers
+//!   recycled through shard-local pools ([`crate::payload`]); pooling is
+//!   invisible to the trace — only the exempt `net.pool_*` statistics
+//!   reflect it (DESIGN.md §13).
 //!
 //! See `DESIGN.md` §12 for the full algorithm and the rules code must
 //! follow to preserve the contract (no wall clock, no `HashMap`
@@ -43,7 +47,9 @@ use crate::id::{Endpoint, NodeId};
 use crate::latency::NetProfile;
 use crate::metrics::Metrics;
 use crate::nat::{NatDevice, NatType};
+use crate::payload::{Payload, PayloadPool};
 use crate::time::{SimDuration, SimTime};
+use crate::wire::{WireEncode, WireWriter};
 use std::any::Any;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -85,7 +91,12 @@ pub trait Protocol: Send {
     /// Invoked for every delivered message. `from` identifies the sending
     /// host and `from_ep` its externally observed endpoint (which is what
     /// a real socket would report, and what NAT traversal must use).
-    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, from_ep: Endpoint, data: &[u8]);
+    ///
+    /// `data` derefs to `&[u8]`; implementations that want to hold on to
+    /// the bytes past the callback may [`Payload::clone`] them (a
+    /// reference-count bump), which also keeps the buffer out of the
+    /// engine's recycling pool for as long as the clone lives.
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, from_ep: Endpoint, data: &Payload);
 
     /// Invoked when a timer armed with [`Ctx::set_timer`] fires.
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64);
@@ -111,8 +122,38 @@ pub trait Protocol: Send {
 /// Effects recorded by a protocol callback, applied by the engine
 /// afterwards.
 enum Effect {
-    Send { to: Endpoint, data: Vec<u8> },
+    Send { to: Endpoint, data: Payload },
     Timer { delay: SimDuration, token: u64 },
+}
+
+/// Deterministic allocation accounting for one callback, flushed into
+/// the metric counters (`net.allocs` / `net.alloc_bytes` /
+/// `net.payload_cloned` / `net.payload_pooled`) after the callback
+/// returns. Classification depends only on payload provenance — never on
+/// pool contents — so these counters are byte-identical for any shard
+/// count (unlike the `net.pool_*` family, which is shard-local by
+/// nature).
+#[derive(Default)]
+struct AllocTally {
+    allocs: u64,
+    alloc_bytes: u64,
+    cloned: u64,
+    pooled: u64,
+}
+
+impl AllocTally {
+    fn flush(self, metrics: &mut Metrics) {
+        if self.allocs > 0 {
+            metrics.count("net.allocs", self.allocs);
+            metrics.count("net.alloc_bytes", self.alloc_bytes);
+        }
+        if self.cloned > 0 {
+            metrics.count("net.payload_cloned", self.cloned);
+        }
+        if self.pooled > 0 {
+            metrics.count("net.payload_pooled", self.pooled);
+        }
+    }
 }
 
 /// The execution context handed to protocol callbacks.
@@ -122,6 +163,8 @@ pub struct Ctx<'a> {
     nat_type: NatType,
     rng: &'a mut StdRng,
     metrics: &'a mut Metrics,
+    pool: &'a mut PayloadPool,
+    tally: AllocTally,
     effects: Vec<Effect>,
 }
 
@@ -145,8 +188,40 @@ impl<'a> Ctx<'a> {
     /// Queues a message to `to`. Delivery is subject to latency, loss and
     /// the destination's NAT filtering; there is no failure notification,
     /// exactly like UDP.
-    pub fn send_to(&mut self, to: Endpoint, data: Vec<u8>) {
+    ///
+    /// Accepts anything convertible into a [`Payload`]: a `Vec<u8>`
+    /// (counted as a fresh allocation at the engine boundary) or a
+    /// `Payload` clone (fan-out: N sends of the same bytes share one
+    /// buffer). Hot paths that build a message just to send it should
+    /// prefer [`Ctx::send_wire`], which encodes into a pooled buffer.
+    pub fn send_to(&mut self, to: Endpoint, data: impl Into<Payload>) {
+        let data = data.into();
+        if data.is_pooled() {
+            self.tally.pooled += 1;
+        } else if data.is_shared() {
+            self.tally.cloned += 1;
+        } else {
+            self.tally.allocs += 1;
+            self.tally.alloc_bytes += data.len() as u64;
+        }
         self.effects.push(Effect::Send { to, data });
+    }
+
+    /// Encodes `msg` into a buffer drawn from the shard's payload pool
+    /// and queues it to `to` — the allocation-free way to send a wire
+    /// message (steady state recycles the buffer of a delivered packet).
+    pub fn send_wire<M: WireEncode>(&mut self, to: Endpoint, msg: &M) {
+        let payload = self.encode_payload(msg);
+        self.send_to(to, payload);
+    }
+
+    /// Encodes `msg` into a pooled buffer without sending it. Use this
+    /// for fan-out: encode once, then [`Ctx::send_to`] a clone per
+    /// destination — N sends, one buffer.
+    pub fn encode_payload<M: WireEncode>(&mut self, msg: &M) -> Payload {
+        let mut w = WireWriter::from_vec(self.pool.take_scratch());
+        msg.encode(&mut w);
+        Payload::recycled(w.into_bytes(), self.pool.enabled())
     }
 
     /// Arms a one-shot timer that fires `delay` from now with `token`.
@@ -174,7 +249,7 @@ enum EventKind {
         to: Endpoint,
         from: NodeId,
         from_ep: Endpoint,
-        data: Vec<u8>,
+        data: Payload,
     },
     Timer {
         node: NodeId,
@@ -249,6 +324,12 @@ pub struct SimConfig {
     /// forces threads, `Some(false)` forces the sequential interleave.
     /// The choice never affects traces — it is pure wall-clock policy.
     pub threads: Option<bool>,
+    /// Whether shards recycle payload buffers through their
+    /// [`PayloadPool`] (default `true`). Purely a performance knob: the
+    /// trace is byte-identical with pooling on or off — only the exempt
+    /// `net.pool_*` statistics and the allocation-accounting counters
+    /// (`net.alloc*`, `net.payload_pooled`) reflect the setting.
+    pub pooling: bool,
 }
 
 impl SimConfig {
@@ -260,6 +341,7 @@ impl SimConfig {
             nat_lease: SimDuration::from_secs(7200),
             shards: 1,
             threads: None,
+            pooling: true,
         }
     }
 
@@ -271,6 +353,7 @@ impl SimConfig {
             nat_lease: SimDuration::from_secs(7200),
             shards: 1,
             threads: None,
+            pooling: true,
         }
     }
 
@@ -282,6 +365,7 @@ impl SimConfig {
             nat_lease: SimDuration::from_secs(7200),
             shards: 1,
             threads: None,
+            pooling: true,
         }
     }
 
@@ -296,6 +380,13 @@ impl SimConfig {
     /// [`SimConfig::threads`]).
     pub fn with_threads(mut self, threads: bool) -> Self {
         self.threads = Some(threads);
+        self
+    }
+
+    /// Returns the config with payload-buffer pooling on or off (see
+    /// [`SimConfig::pooling`]).
+    pub fn with_pooling(mut self, pooling: bool) -> Self {
+        self.pooling = pooling;
         self
     }
 }
@@ -336,6 +427,9 @@ struct Shard {
     slots: Vec<Slot>,
     /// Delta metric sink, drained into the master sink at run boundaries.
     metrics: Metrics,
+    /// Shard-local payload buffer pool; delivered buffers are recycled
+    /// here and handed back out by [`Ctx::send_wire`].
+    pool: PayloadPool,
     /// Queued `Deliver` events (maintained incrementally; O(1) reads).
     in_flight: u64,
     /// Live (non-removed) nodes in this shard.
@@ -343,7 +437,7 @@ struct Shard {
 }
 
 impl Shard {
-    fn new(index: usize, nshards: u64) -> Self {
+    fn new(index: usize, nshards: u64, pooling: bool) -> Self {
         Shard {
             index,
             nshards,
@@ -351,6 +445,7 @@ impl Shard {
             queue: BinaryHeap::new(),
             slots: Vec::new(),
             metrics: Metrics::new(),
+            pool: PayloadPool::new(pooling),
             in_flight: 0,
             live: 0,
         }
@@ -471,9 +566,14 @@ impl Shard {
                     return;
                 }
                 self.metrics.record_down(to.node, data.len());
-                self.invoke(pos, env, out, move |proto, ctx| {
+                self.invoke(pos, env, out, |proto, ctx| {
                     proto.on_message(ctx, from, from_ep, &data)
                 });
+                // The engine's reference is the last one unless the
+                // protocol cloned the payload; recycle the buffer for a
+                // future send. Shared buffers are left alone, so reuse is
+                // never observable (DESIGN.md §13).
+                self.pool.recycle(data);
             }
         }
     }
@@ -488,7 +588,7 @@ impl Shard {
     ) {
         let now = self.now;
         let effects = {
-            let Shard { slots, metrics, .. } = self;
+            let Shard { slots, metrics, pool, .. } = self;
             let slot = &mut slots[pos];
             let Some(mut proto) = slot.proto.take() else { return };
             let mut ctx = Ctx {
@@ -497,10 +597,13 @@ impl Shard {
                 nat_type: slot.nat.nat_type(),
                 rng: &mut slot.proto_rng,
                 metrics,
+                pool,
+                tally: AllocTally::default(),
                 effects: Vec::new(),
             };
             f(proto.as_mut(), &mut ctx);
             let effects = std::mem::take(&mut ctx.effects);
+            std::mem::take(&mut ctx.tally).flush(ctx.metrics);
             slot.proto = Some(proto);
             effects
         };
@@ -643,7 +746,9 @@ impl Sim {
                 std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1) > 1
             });
         let harness_rng = StdRng::for_stream_lane(cfg.seed, 0, LANE_HARNESS);
-        let shards = (0..cfg.shards).map(|i| Shard::new(i, cfg.shards as u64)).collect();
+        let shards = (0..cfg.shards)
+            .map(|i| Shard::new(i, cfg.shards as u64, cfg.pooling))
+            .collect();
         Sim {
             cfg,
             now: SimTime::ZERO,
@@ -820,7 +925,8 @@ impl Sim {
             let shard = &mut shards[si];
             let Some(pos) = shard.slot_pos(id) else { return false };
             shard.now = now;
-            let slot = &mut shard.slots[pos];
+            let Shard { slots, pool, .. } = shard;
+            let slot = &mut slots[pos];
             if slot.down_until.is_some() {
                 return false; // a crashed node cannot run callbacks
             }
@@ -831,6 +937,8 @@ impl Sim {
                 nat_type: slot.nat.nat_type(),
                 rng: &mut slot.proto_rng,
                 metrics,
+                pool,
+                tally: AllocTally::default(),
                 effects: Vec::new(),
             };
             let applied = if let Some(t) = proto.as_any_mut().downcast_mut::<T>() {
@@ -840,6 +948,7 @@ impl Sim {
                 false
             };
             let effects = std::mem::take(&mut ctx.effects);
+            std::mem::take(&mut ctx.tally).flush(ctx.metrics);
             slot.proto = Some(proto);
             shard.apply_effects(pos, effects, &env, &mut moved);
             applied
@@ -994,10 +1103,31 @@ impl Sim {
     }
 
     /// Drains every shard's delta metrics into the master sink in
-    /// canonical event order.
+    /// canonical event order. Pool statistics are flushed here too — into
+    /// the `net.pool_*` counters, which are shard-local by nature and
+    /// therefore exempt from the determinism-trace comparison (DESIGN.md
+    /// §13), like the `*_wall_us` samples.
     fn sync_metrics(&mut self) {
-        let deltas: Vec<Metrics> =
-            self.shards.iter_mut().map(|s| std::mem::take(&mut s.metrics)).collect();
+        let deltas: Vec<Metrics> = self
+            .shards
+            .iter_mut()
+            .map(|s| {
+                let stats = s.pool.take_stats();
+                for (name, v) in [
+                    ("net.pool_hits", stats.hits),
+                    ("net.pool_misses", stats.misses),
+                    ("net.pool_miss_bytes", stats.miss_bytes),
+                    ("net.pool_recycled", stats.recycled),
+                    ("net.pool_drop_shared", stats.drop_shared),
+                    ("net.pool_drop_full", stats.drop_full),
+                ] {
+                    if v > 0 {
+                        s.metrics.count(name, v);
+                    }
+                }
+                std::mem::take(&mut s.metrics)
+            })
+            .collect();
         self.metrics.merge_shard_deltas(deltas);
     }
 }
@@ -1045,9 +1175,15 @@ mod tests {
                 ctx.set_timer(SimDuration::from_secs(1), 1);
             }
         }
-        fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, from_ep: Endpoint, data: &[u8]) {
+        fn on_message(
+            &mut self,
+            ctx: &mut Ctx<'_>,
+            from: NodeId,
+            from_ep: Endpoint,
+            data: &Payload,
+        ) {
             self.received.push((from, data.to_vec()));
-            if data == b"ping" {
+            if data.as_slice() == b"ping" {
                 ctx.send_to(from_ep, b"pong".to_vec());
             }
         }
@@ -1203,8 +1339,15 @@ mod tests {
                 sim.add_node(Box::new(p), NatType::RestrictedCone);
             }
             sim.run_for_secs(10);
-            let counters =
-                sim.metrics().counter_names().map(|n| (n, sim.metrics().counter(n))).collect();
+            // Pool hit/miss statistics are shard-local by design (a
+            // buffer freed on shard i is only reusable there) and are the
+            // one counter family exempt from shard invariance.
+            let counters = sim
+                .metrics()
+                .counter_names()
+                .filter(|n| !n.starts_with("net.pool_"))
+                .map(|n| (n, sim.metrics().counter(n)))
+                .collect();
             let traffic = sim
                 .node_ids()
                 .iter()

@@ -55,6 +55,14 @@ impl WireWriter {
         WireWriter { buf: Vec::new() }
     }
 
+    /// Creates a writer backed by `buf`, clearing any existing contents
+    /// but keeping its capacity — the hook that lets pooled payload
+    /// buffers back wire encodes without reallocating.
+    pub fn from_vec(mut buf: Vec<u8>) -> Self {
+        buf.clear();
+        WireWriter { buf }
+    }
+
     /// Current serialized length in bytes.
     pub fn len(&self) -> usize {
         self.buf.len()

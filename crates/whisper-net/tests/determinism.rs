@@ -12,7 +12,7 @@
 
 use whisper_net::nat::NatType;
 use whisper_net::sim::{Ctx, Protocol, Sim, SimConfig};
-use whisper_net::{Endpoint, NodeId, SimDuration};
+use whisper_net::{Endpoint, NodeId, Payload, SimDuration};
 use whisper_rand::{Rng, RngCore};
 
 /// A protocol that exercises every randomness source a real protocol
@@ -37,7 +37,7 @@ impl Protocol for Chatter {
         ctx.set_timer(SimDuration::from_micros(10_000 + jitter), 0);
     }
 
-    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, _ep: Endpoint, data: &[u8]) {
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, _ep: Endpoint, data: &Payload) {
         let now = ctx.now().as_micros();
         let mut detail = from.0.to_le_bytes().to_vec();
         detail.extend_from_slice(data);
@@ -75,8 +75,16 @@ fn run_trace(seed: u64) -> Vec<u8> {
 /// [`run_trace`] with an explicit shard count and thread policy, for the
 /// shard-invariance matrix.
 fn run_trace_sharded(seed: u64, shards: usize, threaded: bool) -> Vec<u8> {
-    let mut sim =
-        Sim::new(SimConfig::planetlab(seed).with_shards(shards).with_threads(threaded));
+    run_trace_configured(seed, shards, threaded, true)
+}
+
+/// [`run_trace_sharded`] with an explicit payload-pooling switch: like the
+/// shard count, buffer recycling is a performance knob the trace must not
+/// see (DESIGN.md §13).
+fn run_trace_configured(seed: u64, shards: usize, threaded: bool, pooling: bool) -> Vec<u8> {
+    let mut sim = Sim::new(
+        SimConfig::planetlab(seed).with_shards(shards).with_threads(threaded).with_pooling(pooling),
+    );
     let peers: Vec<NodeId> = (0..16).map(NodeId).collect();
     for _ in 0..16u64 {
         // All nodes public so the chatter mesh is fully connected; the NAT
@@ -151,6 +159,28 @@ fn shard_count_is_invisible_to_the_trace() {
     }
 }
 
+/// Payload pooling is a pure performance knob (DESIGN.md §13): recycling
+/// buffers between events must never be observable. Pool-on and pool-off
+/// runs — at one shard and at four — are byte-identical, including every
+/// delivered payload byte captured in the chatter traces.
+#[test]
+fn pooling_is_invisible_to_the_trace() {
+    for seed in [7u64, 11, 13] {
+        let pooled = run_trace_configured(seed, 1, false, true);
+        let unpooled = run_trace_configured(seed, 1, false, false);
+        assert!(!pooled.is_empty(), "seed {seed}: empty trace proves nothing");
+        assert!(
+            pooled == unpooled,
+            "seed {seed}: pool-off trace diverged from pool-on (buffer reuse leaked)"
+        );
+        let sharded_unpooled = run_trace_configured(seed, 4, true, false);
+        assert!(
+            pooled == sharded_unpooled,
+            "seed {seed}: 4-shard pool-off trace diverged from 1-shard pool-on"
+        );
+    }
+}
+
 /// Runs the full WHISPER stack — PSS warm-up, then WCL sends that
 /// establish and then ride a cached circuit — and serializes every
 /// deterministic observable: all counters, all sample series *except* the
@@ -210,7 +240,10 @@ fn run_stack_trace_sharded(seed: u64, shards: usize) -> Vec<u8> {
     let metrics = sim.metrics();
     assert!(metrics.counter("wcl.circuit_hit") >= 1, "steady-state path exercised");
     let mut out = Vec::new();
-    for name in metrics.counter_names() {
+    // `net.pool_*` hit/miss statistics are shard-local by construction (a
+    // buffer freed on shard i is only reusable there) and exempt from the
+    // contract, exactly like the `*_wall_us` samples. DESIGN.md §13.
+    for name in metrics.counter_names().filter(|n| !n.starts_with("net.pool_")) {
         out.extend_from_slice(name.as_bytes());
         out.extend_from_slice(&metrics.counter(name).to_le_bytes());
     }
@@ -311,7 +344,8 @@ fn run_fault_trace_sharded(seed: u64, shards: usize) -> Vec<u8> {
         out.extend_from_slice(&chatter.trace);
     }
     let metrics = sim.metrics();
-    for name in metrics.counter_names() {
+    // Same `net.pool_*` exemption as the full-stack trace (DESIGN.md §13).
+    for name in metrics.counter_names().filter(|n| !n.starts_with("net.pool_")) {
         out.extend_from_slice(name.as_bytes());
         out.extend_from_slice(&metrics.counter(name).to_le_bytes());
     }

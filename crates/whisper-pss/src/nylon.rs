@@ -16,8 +16,8 @@ use crate::view::{View, ViewEntry};
 use std::collections::HashMap;
 use whisper_crypto::rsa::{KeyPair, PublicKey};
 use whisper_net::sim::{Ctx, Protocol};
-use whisper_net::wire::{WireDecode, WireEncode};
-use whisper_net::{Endpoint, NodeId, SimDuration, SimTime};
+use whisper_net::wire::WireDecode;
+use whisper_net::{Endpoint, NodeId, Payload, SimDuration, SimTime};
 
 /// Timer token: periodic gossip cycle.
 const TIMER_GOSSIP_CYCLE: u64 = 1;
@@ -258,7 +258,7 @@ impl NylonCore {
                 let peer = peer_of_token(token);
                 if let Some((ep, remaining)) = self.punch_retries.remove(&peer) {
                     let punch = NylonMsg::Punch { from: self.id };
-                    ctx.send_to(ep, punch.to_wire());
+                    ctx.send_wire(ep, &punch);
                     if remaining > 1 {
                         self.punch_retries.insert(peer, (ep, remaining - 1));
                         ctx.set_timer(PUNCH_RETRY_DELAY, TIMER_PUNCH_RETRY | (peer.0 << 8));
@@ -399,9 +399,15 @@ impl NylonCore {
             .map(|e| e.node)
             .take(missing - in_flight)
             .collect();
+        if candidates.is_empty() {
+            return;
+        }
+        // The ping is identical for every candidate: encode once, fan out
+        // reference-counted clones (one allocation for N sends).
+        let ping = NylonMsg::Ping { from: self.id, key: self.key_payload() };
+        let wire = ctx.encode_payload(&ping);
         for candidate in candidates {
-            let ping = NylonMsg::Ping { from: self.id, key: self.key_payload() };
-            ctx.send_to(Endpoint::public(candidate), ping.to_wire());
+            ctx.send_to(Endpoint::public(candidate), wire.clone());
             ctx.metrics().count("pss.cb_ping_sent", 1);
             self.ping_pending.insert(candidate, now);
         }
@@ -495,7 +501,7 @@ impl NylonCore {
                         .transport
                         .contact(next, ctx.now())
                         .unwrap_or(Endpoint::public(next));
-                    ctx.send_to(ep, fwd.to_wire());
+                    ctx.send_wire(ep, &fwd);
                     ctx.metrics().count("pss.relayed_forwarded", 1);
                 }
             }
@@ -512,7 +518,7 @@ impl NylonCore {
                     // and answer along the reverse path.
                     if let Some(rep) = requester_ep {
                         let punch = NylonMsg::Punch { from: self.id };
-                        ctx.send_to(rep, punch.to_wire());
+                        ctx.send_wire(rep, &punch);
                         self.punch_retries.insert(requester, (rep, PUNCH_RETRIES));
                         ctx.set_timer(PUNCH_RETRY_DELAY, TIMER_PUNCH_RETRY | (requester.0 << 8));
                     }
@@ -528,7 +534,7 @@ impl NylonCore {
                             .transport
                             .contact(next, ctx.now())
                             .unwrap_or(Endpoint::public(next));
-                        ctx.send_to(ep, ack.to_wire());
+                        ctx.send_wire(ep, &ack);
                     }
                     ctx.metrics().count("pss.open_served", 1);
                 } else {
@@ -545,7 +551,7 @@ impl NylonCore {
                         .transport
                         .contact(next, ctx.now())
                         .unwrap_or(Endpoint::public(next));
-                    ctx.send_to(ep, fwd.to_wire());
+                    ctx.send_wire(ep, &fwd);
                 }
             }
             NylonMsg::OpenAck { target, mut target_ep, remaining } => {
@@ -557,9 +563,11 @@ impl NylonCore {
                     // observed endpoint. Any direct answer (PunchAck or
                     // the target's own punch) establishes the channel.
                     if let Some(tep) = target_ep {
+                        // Double punch: encode once, send two clones.
                         let punch = NylonMsg::Punch { from: self.id };
-                        ctx.send_to(tep, punch.to_wire());
-                        ctx.send_to(tep, punch.to_wire());
+                        let wire = ctx.encode_payload(&punch);
+                        ctx.send_to(tep, wire.clone());
+                        ctx.send_to(tep, wire);
                     }
                 } else {
                     let next = remaining[0];
@@ -572,14 +580,14 @@ impl NylonCore {
                         .transport
                         .contact(next, ctx.now())
                         .unwrap_or(Endpoint::public(next));
-                    ctx.send_to(ep, fwd.to_wire());
+                    ctx.send_wire(ep, &fwd);
                 }
             }
             NylonMsg::Punch { from } => {
                 // Contact already recorded by `on_message`; acknowledge so
                 // the puncher learns its probe went through.
                 let ack = NylonMsg::PunchAck { from: self.id };
-                ctx.send_to(outer_ep, ack.to_wire());
+                ctx.send_wire(outer_ep, &ack);
                 let _ = from;
             }
             NylonMsg::PunchAck { .. } => {
@@ -588,7 +596,7 @@ impl NylonCore {
             NylonMsg::Ping { from, key } => {
                 self.learn_key(from, &key);
                 let pong = NylonMsg::Pong { from: self.id, key: self.key_payload() };
-                ctx.send_to(outer_ep, pong.to_wire());
+                ctx.send_wire(outer_ep, &pong);
             }
             NylonMsg::Pong { from, key } => {
                 self.learn_key(from, &key);
@@ -649,7 +657,7 @@ impl Protocol for NylonNode {
         self.core.on_start(ctx);
     }
 
-    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, from_ep: Endpoint, data: &[u8]) {
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, from_ep: Endpoint, data: &Payload) {
         for event in self.core.on_message(ctx, from, from_ep, data) {
             if matches!(event, NylonEvent::Payload { .. }) {
                 self.payloads_received += 1;

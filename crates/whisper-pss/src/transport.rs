@@ -149,12 +149,12 @@ impl Transport {
         // 1. Fresh direct contact (covers public peers we have talked to,
         //    and NATted peers whose association towards us is open).
         if let Some(ep) = self.contact(to, now) {
-            ctx.send_to(ep, msg.to_wire());
+            ctx.send_wire(ep, msg);
             return SendOutcome::Direct;
         }
         // 2. Public peer: always addressable.
         if to_public {
-            ctx.send_to(Endpoint::public(to), msg.to_wire());
+            ctx.send_wire(Endpoint::public(to), msg);
             return SendOutcome::Direct;
         }
         // 3. Fresh relayed reverse route.
@@ -202,7 +202,7 @@ impl Transport {
             remaining: chain[1..].to_vec(),
             path_back: vec![me],
         };
-        ctx.send_to(first_ep, open.to_wire());
+        ctx.send_wire(first_ep, &open);
         ctx.metrics().count("pss.open_started", 1);
     }
 
@@ -233,7 +233,7 @@ impl Transport {
             path_back: vec![me],
             inner: msg.to_wire(),
         };
-        ctx.send_to(ep, relayed.to_wire());
+        ctx.send_wire(ep, &relayed);
         ctx.metrics().count("pss.relayed_sent", 1);
         true
     }
@@ -258,7 +258,7 @@ impl Transport {
                 path_back: vec![me],
                 inner,
             };
-            ctx.send_to(ep, relayed.to_wire());
+            ctx.send_wire(ep, &relayed);
         }
         // Remember the chain as a (tentative) reply route so immediate
         // follow-ups do not restart the handshake.

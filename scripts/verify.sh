@@ -6,35 +6,53 @@
 # workspace has zero external dependencies (see crates/whisper-rand for
 # the in-tree randomness/test/bench substrate that makes this possible).
 #
+# Each step is wall-clock timed so regressions in verify latency are
+# visible in the step-by-step log (`[t+...s]` prefixes).
+#
 # Usage: scripts/verify.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> offline release build (lib, bins, tests, benches, examples)"
+VERIFY_T0=$SECONDS
+STEP_T0=$SECONDS
+step() {
+  local now=$SECONDS
+  if [ "$now" -ne "$VERIFY_T0" ]; then
+    echo "    [step took $((now - STEP_T0))s, t+$((now - VERIFY_T0))s total]"
+  fi
+  STEP_T0=$now
+  echo "==> $1"
+}
+
+step "offline release build (lib, bins, tests, benches, examples)"
 cargo build --release --offline --workspace --all-targets
 
-echo "==> offline test suite (whole workspace)"
+step "offline test suite (whole workspace)"
 cargo test -q --offline --workspace
 
-echo "==> clippy clean (all targets, warnings are errors)"
+step "clippy clean (all targets, warnings are errors)"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
-echo "==> rustdoc builds clean (no warnings; whisper-net denies missing docs)"
+step "rustdoc builds clean (no warnings; whisper-net denies missing docs)"
 # whisper-net carries #![deny(missing_docs)], so an undocumented public
 # item fails the build steps above; -D warnings catches the remaining
 # rustdoc lint classes (broken intra-doc links etc.) workspace-wide.
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace --quiet
 
-echo "==> shard-matrix determinism (release: byte-identical traces at 1/2/4 shards)"
+step "shard-matrix determinism (release: byte-identical traces at 1/2/4 shards, pool on+off)"
 cargo test -q --release --offline -p whisper-net --test determinism
 
-echo "==> chaos acceptance suite (384 + 1k-node/4-shard, release, fixed seed matrix)"
+step "chaos acceptance suite (384 + 1k-node/4-shard, release, fixed seed matrix)"
 for s in 7 11 13; do
   echo "    seed $s"
   WHISPER_CHAOS_SEED=$s cargo test -q --release --offline --test chaos -- --ignored
 done
 
-echo "==> engine scale-out smoke (nodes-per-second, quick sweep)"
+step "engine scale-out smoke (nodes-per-second, quick sweep)"
 cargo run -q --release --offline -p whisper-bench --bin fig5_biased_pss -- --scale --quick | grep '^scaling:'
 
-echo "verify: OK"
+step "100k-node smoke (release, single cell, pooled hot path)"
+cargo run -q --release --offline -p whisper-bench --bin fig5_biased_pss -- --scale --quick --nodes 100000 --shards 4 | grep '^scaling:'
+
+step "done"
+echo "verify: OK (total $((SECONDS - VERIFY_T0))s)"

@@ -311,7 +311,13 @@ fn live_stack_payloads_opaque_to_third_parties() {
         fn on_start(&mut self, ctx: &mut Ctx<'_>) {
             self.inner.on_start(ctx);
         }
-        fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, ep: Endpoint, data: &[u8]) {
+        fn on_message(
+            &mut self,
+            ctx: &mut Ctx<'_>,
+            from: NodeId,
+            ep: Endpoint,
+            data: &whisper::net::Payload,
+        ) {
             self.log.lock().unwrap().push((ctx.id(), data.to_vec()));
             self.inner.on_message(ctx, from, ep, data);
         }
