@@ -7,11 +7,17 @@
 //!   engine shard count (DESIGN.md §12); with `--scale` they restrict
 //!   the sweep to the single `(N, S)` cell;
 //! * `--scale` — run the scale-out sweep (PSS-only nodes-per-second
-//!   curve, 384→100k nodes × 1/2/4/8 shards) instead of Fig. 5;
+//!   curve, 384→1M nodes × 1/2/4/8 shards) instead of Fig. 5;
+//! * `--sched heap|wheel` — with `--scale`, pick the event scheduler
+//!   (reference binary heap vs calendar wheel; DESIGN.md §14) for a
+//!   trace-invariant throughput A/B;
+//! * `--reps N` — with `--scale`, time each cell N times and keep the
+//!   best run (suppresses shared-host noise);
 //! * `--allocs` — run the payload-pool A/B (heap allocations per send,
 //!   pooling on vs off; DESIGN.md §13) instead of Fig. 5.
 
 use whisper_bench::experiments::{self, fig5, scaling};
+use whisper_net::sched::Scheduler;
 
 fn main() {
     let quick = experiments::quick_flag();
@@ -24,6 +30,12 @@ fn main() {
         }
         if let Some(shards) = experiments::arg_value("--shards") {
             params.shards = vec![shards];
+        }
+        if let Some(s) = experiments::arg_str("--sched") {
+            params.sched = Scheduler::parse(&s).expect("--sched takes `heap` or `wheel`");
+        }
+        if let Some(reps) = experiments::arg_value("--reps") {
+            params.reps = reps;
         }
         if allocs {
             scaling::run_allocs(&params);

@@ -8,9 +8,15 @@
 //!   engine shard count (DESIGN.md §12); with `--scale` they restrict
 //!   the sweep to the single `(N, S)` cell;
 //! * `--scale` — run the scale-out sweep (full-stack nodes-per-second
-//!   curve, 384→100k nodes × 1/2/4/8 shards) instead of Table I.
+//!   curve, 384→1M nodes × 1/2/4/8 shards) instead of Table I;
+//! * `--sched heap|wheel` — with `--scale`, pick the event scheduler
+//!   (reference binary heap vs calendar wheel; DESIGN.md §14) for a
+//!   trace-invariant throughput A/B;
+//! * `--reps N` — with `--scale`, time each cell N times and keep the
+//!   best run (suppresses shared-host noise).
 
 use whisper_bench::experiments::{self, scaling, table1};
+use whisper_net::sched::Scheduler;
 
 fn main() {
     let quick = experiments::quick_flag();
@@ -21,6 +27,12 @@ fn main() {
         }
         if let Some(shards) = experiments::arg_value("--shards") {
             params.shards = vec![shards];
+        }
+        if let Some(s) = experiments::arg_str("--sched") {
+            params.sched = Scheduler::parse(&s).expect("--sched takes `heap` or `wheel`");
+        }
+        if let Some(reps) = experiments::arg_value("--reps") {
+            params.reps = reps;
         }
         scaling::run(scaling::Stack::Whisper, &params);
         return;

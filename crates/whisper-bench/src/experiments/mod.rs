@@ -21,13 +21,19 @@ pub fn quick_flag() -> bool {
 /// Reads a `--flag N` or `--flag=N` numeric argument from the process
 /// arguments (e.g. `--nodes 4000`, `--shards=8`).
 pub fn arg_value(flag: &str) -> Option<usize> {
+    arg_str(flag)?.parse().ok()
+}
+
+/// Reads a `--flag VALUE` or `--flag=VALUE` string argument from the
+/// process arguments (e.g. `--sched wheel`).
+pub fn arg_str(flag: &str) -> Option<String> {
     let mut args = std::env::args();
     while let Some(a) = args.next() {
         if a == flag {
-            return args.next()?.parse().ok();
+            return args.next();
         }
         if let Some(v) = a.strip_prefix(flag).and_then(|r| r.strip_prefix('=')) {
-            return v.parse().ok();
+            return Some(v.to_string());
         }
     }
     None

@@ -28,6 +28,7 @@ use std::time::Instant;
 use crate::harness::NetBuilder;
 use crate::report;
 use whisper_core::node::NoApp;
+use whisper_net::sched::Scheduler;
 use whisper_pss::NylonConfig;
 use whisper_rand::bench::Bench;
 
@@ -61,17 +62,27 @@ pub struct Params {
     pub secs: u64,
     /// Engine seed.
     pub seed: u64,
+    /// Event scheduler for every cell (heap vs calendar wheel A/B;
+    /// trace-invariant, wall-clock-relevant).
+    pub sched: Scheduler,
+    /// Timed repetitions per cell; the best (minimum) wall and CPU
+    /// times are reported. The trace is deterministic, so repetitions
+    /// do identical work — the minimum is the run least disturbed by
+    /// the host.
+    pub reps: usize,
 }
 
 impl Params {
-    /// The full scaling curve: 384 → 1k → 4k → 10k → 100k nodes at
-    /// 1/2/4/8 shards.
+    /// The full scaling curve: 384 → 1k → 4k → 10k → 100k → 1M nodes
+    /// at 1/2/4/8 shards.
     pub fn paper() -> Self {
         Params {
-            nodes: vec![384, 1000, 4000, 10_000, 100_000],
+            nodes: vec![384, 1000, 4000, 10_000, 100_000, 1_000_000],
             shards: vec![1, 2, 4, 8],
             secs: 60,
             seed: 7,
+            sched: Scheduler::Wheel,
+            reps: 1,
         }
     }
 
@@ -81,22 +92,40 @@ impl Params {
     }
 
     /// Simulated seconds for one cell. Populations of 50k+ get a
-    /// shortened window so the 100k cells stay minutes-not-hours; the
-    /// per-node event rate is steady after startup, so a shorter window
-    /// measures the same thing.
+    /// shortened window (and 500k+ an even shorter one) so the big cells
+    /// stay minutes-not-hours; the per-node event rate is steady after
+    /// startup, so a shorter window measures the same thing.
     pub fn window_secs(&self, nodes: usize) -> u64 {
-        if nodes >= 50_000 {
+        if nodes >= 500_000 {
+            self.secs.min(5)
+        } else if nodes >= 50_000 {
             self.secs.min(20)
         } else {
             self.secs
+        }
+    }
+
+    /// Bench-id infix naming the scheduler: the calendar wheel (the
+    /// default) keeps the historical bare ids so curves stay comparable
+    /// across PRs; heap cells get an explicit `_heap` marker.
+    fn sched_infix(&self) -> &'static str {
+        match self.sched {
+            Scheduler::Wheel => "",
+            Scheduler::Heap => "_heap",
         }
     }
 }
 
 /// One timed cell's raw results.
 struct Cell {
-    /// Wall seconds the simulated window took.
+    /// Wall seconds the simulated window took (best of `reps`).
     wall: f64,
+    /// User-mode CPU seconds the window took (best of `reps`); `None`
+    /// where the measurement is unavailable or too short to be
+    /// meaningful. On hosts with noisy demand paging (shared microVMs)
+    /// this is the stable throughput signal — kernel fault-service
+    /// time is excluded.
+    cpu: Option<f64>,
     /// Honest heap-allocation count for payload buffers:
     /// `net.allocs + net.pool_misses` (a disabled pool records nothing,
     /// so the sum is comparable across pooling modes; DESIGN.md §13).
@@ -106,25 +135,72 @@ struct Cell {
     sends: u64,
 }
 
-/// Builds one cell's population and runs the timed simulation window.
+/// User-mode CPU seconds consumed by this process so far, from
+/// `/proc/self/stat` (whole process, all threads). `None` off-Linux or
+/// on any parse surprise; callers fall back to wall time.
+fn user_cpu_secs() -> Option<f64> {
+    // USER_HZ is 100 on every Linux ABI this runs on (the value is
+    // frozen for userspace compatibility).
+    const TICKS_PER_SEC: f64 = 100.0;
+    let stat = std::fs::read_to_string("/proc/self/stat").ok()?;
+    // `comm` (field 2) may contain spaces; fields are reliable only
+    // after the closing paren. utime is field 14 overall, i.e. the
+    // 12th after the paren.
+    let (_, rest) = stat.rsplit_once(')')?;
+    let utime: f64 = rest.split_whitespace().nth(11)?.parse().ok()?;
+    Some(utime / TICKS_PER_SEC)
+}
+
+/// CPU windows shorter than this are below the `/proc` tick resolution
+/// and are not reported.
+const MIN_CPU_WINDOW: f64 = 0.5;
+
+/// Builds one cell's population and runs the timed simulation window,
+/// `params.reps` times; keeps the best wall / CPU timings.
 fn run_cell(stack: Stack, nodes: usize, shards: usize, pooling: bool, params: &Params) -> Cell {
-    let mut builder = NetBuilder::cluster(nodes, params.seed);
-    builder.sim = builder.sim.clone().with_shards(shards).with_pooling(pooling);
-    builder.key_cycle = Some(256);
-    let mut sim = match stack {
-        Stack::Pss => builder.build_pss(&NylonConfig::default()).sim,
-        Stack::Whisper => builder.build_whisper(|_| Box::new(NoApp)).sim,
-    };
-    let start = Instant::now();
-    sim.run_for_secs(params.window_secs(nodes));
-    let wall = start.elapsed().as_secs_f64();
-    let m = sim.metrics();
-    let fresh = m.counter("net.allocs");
-    Cell {
-        wall,
-        allocs: fresh + m.counter("net.pool_misses"),
-        sends: fresh + m.counter("net.payload_cloned") + m.counter("net.payload_pooled"),
+    let mut best: Option<Cell> = None;
+    for _ in 0..params.reps.max(1) {
+        let mut builder = NetBuilder::cluster(nodes, params.seed);
+        builder.sim = builder
+            .sim
+            .clone()
+            .with_shards(shards)
+            .with_pooling(pooling)
+            .with_scheduler(params.sched);
+        builder.key_cycle = Some(256);
+        let mut sim = match stack {
+            Stack::Pss => builder.build_pss(&NylonConfig::default()).sim,
+            Stack::Whisper => builder.build_whisper(|_| Box::new(NoApp)).sim,
+        };
+        let cpu0 = user_cpu_secs();
+        let start = Instant::now();
+        sim.run_for_secs(params.window_secs(nodes));
+        let wall = start.elapsed().as_secs_f64();
+        let cpu = match (cpu0, user_cpu_secs()) {
+            (Some(a), Some(b)) if b - a >= MIN_CPU_WINDOW => Some(b - a),
+            _ => None,
+        };
+        let m = sim.metrics();
+        let fresh = m.counter("net.allocs");
+        let cell = Cell {
+            wall,
+            cpu,
+            allocs: fresh + m.counter("net.pool_misses"),
+            sends: fresh + m.counter("net.payload_cloned") + m.counter("net.payload_pooled"),
+        };
+        best = Some(match best.take() {
+            None => cell,
+            Some(b) => Cell {
+                wall: b.wall.min(cell.wall),
+                cpu: match (b.cpu, cell.cpu) {
+                    (Some(x), Some(y)) => Some(x.min(y)),
+                    (x, y) => x.or(y),
+                },
+                ..b
+            },
+        });
     }
+    best.expect("reps >= 1")
 }
 
 /// Runs the sweep, prints the curve and records every cell into the
@@ -136,13 +212,17 @@ pub fn run(stack: Stack, params: &Params) {
         &format!("{}-stack nodes-per-second vs. population and shard count", stack.name()),
     );
     println!(
-        "window={}s (20s at 50k+) seed={} key_cycle=256 \
-         (wall-clock timing: host-dependent by design)",
-        params.secs, params.seed
+        "window={}s (20s at 50k+, 5s at 500k+) seed={} sched={:?} reps={} key_cycle=256 \
+         (wall-clock timing: host-dependent by design; cpu = user-mode CPU time, \
+         immune to demand-paging jitter)",
+        params.secs,
+        params.seed,
+        params.sched,
+        params.reps.max(1)
     );
     println!(
-        "{:<8} {:>7} {:>12} {:>16} {:>14}",
-        "nodes", "shards", "wall (s)", "nodes/sec", "allocs/send"
+        "{:<8} {:>7} {:>12} {:>12} {:>16} {:>16} {:>14}",
+        "nodes", "shards", "wall (s)", "cpu (s)", "nodes/sec", "nodes/sec-cpu", "allocs/send"
     );
     let mut bench = Bench::new();
     let mut best: Option<(usize, usize, f64)> = None;
@@ -150,20 +230,23 @@ pub fn run(stack: Stack, params: &Params) {
         for &shards in &params.shards {
             let cell = run_cell(stack, nodes, shards, true, params);
             let secs = params.window_secs(nodes);
-            let nodes_per_sec = nodes as f64 * secs as f64 / cell.wall.max(1e-9);
+            let node_secs = nodes as f64 * secs as f64;
+            let nodes_per_sec = node_secs / cell.wall.max(1e-9);
+            let cpu_rate = cell.cpu.map(|c| node_secs / c.max(1e-9));
             let allocs_per_send = cell.allocs as f64 / cell.sends.max(1) as f64;
             println!(
-                "{nodes:<8} {shards:>7} {:>12.2} {nodes_per_sec:>16.0} {allocs_per_send:>14.3}",
-                cell.wall
+                "{nodes:<8} {shards:>7} {:>12.2} {:>12} {nodes_per_sec:>16.0} {:>16} \
+                 {allocs_per_send:>14.3}",
+                cell.wall,
+                cell.cpu.map_or("-".into(), |c| format!("{c:.2}")),
+                cpu_rate.map_or("-".into(), |r| format!("{r:.0}")),
             );
-            bench.record(
-                format!("scaling/{}_n{nodes}_s{shards}_nodes_per_sec", stack.name()),
-                nodes_per_sec,
-            );
-            bench.record(
-                format!("scaling/{}_n{nodes}_s{shards}_allocs_per_send", stack.name()),
-                allocs_per_send,
-            );
+            let id = format!("{}{}_n{nodes}_s{shards}", stack.name(), params.sched_infix());
+            bench.record(format!("scaling/{id}_nodes_per_sec"), nodes_per_sec);
+            bench.record(format!("scaling/{id}_allocs_per_send"), allocs_per_send);
+            if let Some(r) = cpu_rate {
+                bench.record(format!("scaling/{id}_nodes_per_sec_cpu"), r);
+            }
             if best.is_none_or(|(_, _, b)| nodes_per_sec > b) {
                 best = Some((nodes, shards, nodes_per_sec));
             }

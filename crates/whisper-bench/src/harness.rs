@@ -88,7 +88,9 @@ impl NetBuilder {
     /// Fig. 5 / Fig. 6 experiments that evaluate the PSS layer alone.
     pub fn build_pss(&self, nylon_cfg: &NylonConfig) -> PssNet {
         let keys = self.population_keys(nylon_cfg.rsa);
-        let mut sim = Sim::new(self.sim.clone());
+        // The builder knows the population size, so the engine can
+        // pre-reserve per-shard arenas and scheduler buckets up front.
+        let mut sim = Sim::new(self.sim.clone().with_expected_nodes(self.nodes));
         let dist = NatDistribution::with_public_ratio(self.public_ratio);
         let mut ids = Vec::with_capacity(self.nodes);
         for (i, key) in keys.into_iter().enumerate() {
@@ -120,7 +122,7 @@ impl NetBuilder {
         make_app: impl Fn(usize) -> Box<dyn GroupApp>,
     ) -> WhisperNet {
         let keys = self.population_keys(self.whisper.nylon.rsa);
-        let mut sim = Sim::new(self.sim.clone());
+        let mut sim = Sim::new(self.sim.clone().with_expected_nodes(self.nodes));
         let dist = NatDistribution::with_public_ratio(self.public_ratio);
         let mut ids = Vec::with_capacity(self.nodes);
         for (i, key) in keys.into_iter().enumerate() {

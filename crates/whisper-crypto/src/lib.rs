@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 //! Cryptographic substrate for the WHISPER middleware reproduction.
 //!
 //! This crate implements, from scratch, every cryptographic primitive the

@@ -186,7 +186,7 @@ impl FaultPlan {
 /// send/deliver paths. Mutable per-sender chain state (the Gilbert–Elliott
 /// `bad` flags) lives in the per-node arena slots, not here, so shards
 /// never contend on it.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub(crate) struct FaultState {
     faults: Vec<Fault>,
 }

@@ -159,6 +159,16 @@ impl Metrics {
         self.samples.keys().copied()
     }
 
+    /// Adds a whole [`Traffic`] delta to `node` (used by the engine to
+    /// fold dense per-shard traffic arrays into the sink).
+    pub(crate) fn add_traffic(&mut self, node: NodeId, t: Traffic) {
+        let e = self.traffic.entry(node).or_default();
+        e.up_bytes += t.up_bytes;
+        e.down_bytes += t.down_bytes;
+        e.up_msgs += t.up_msgs;
+        e.down_msgs += t.down_msgs;
+    }
+
     /// Credits an outgoing message of `payload_len` bytes to `node`.
     pub fn record_up(&mut self, node: NodeId, payload_len: usize) {
         let t = self.traffic.entry(node).or_default();

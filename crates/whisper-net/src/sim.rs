@@ -2,12 +2,15 @@
 //!
 //! A [`Sim`] owns a population of protocol instances (one per simulated
 //! host) partitioned across one or more **shards**. Each shard owns an
-//! event queue and the arena of per-node hot state (protocol box, NAT
-//! device, RNG streams, fault state). With `shards = 1` (the default)
-//! the engine is the classic single-queue event loop; with more shards
-//! it advances in conservative lookahead windows bounded by the minimum
-//! cross-shard link latency, optionally on `std::thread::scope` worker
-//! threads.
+//! event queue (a calendar queue or a binary heap, selectable via
+//! [`SimConfig::with_scheduler`]; see [`crate::sched`]) and the arena of
+//! per-node state, split SoA-style into dense hot flag/traffic arrays
+//! and cold slots (protocol box, NAT device, RNG streams). With
+//! `shards = 1` (the default) the engine is the classic single-queue
+//! event loop; with more shards it advances in conservative lookahead
+//! windows bounded by the minimum cross-shard link latency, exchanging
+//! cross-shard sends as batched per-destination vectors at window
+//! barriers — sequentially or on a persistent worker-thread pool.
 //!
 //! # The determinism contract
 //!
@@ -45,16 +48,16 @@
 use crate::fault::{Fault, FaultPlan, FaultState};
 use crate::id::{Endpoint, NodeId};
 use crate::latency::NetProfile;
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, Traffic, HEADER_OVERHEAD};
 use crate::nat::{NatDevice, NatType};
 use crate::payload::{Payload, PayloadPool};
+use crate::sched::{EventKey, EventQueue, Keyed, Scheduler};
 use crate::time::{SimDuration, SimTime};
 use crate::wire::{WireEncode, WireWriter};
 use std::any::Any;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Barrier, Mutex};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc, Barrier, Mutex};
 use whisper_rand::rngs::StdRng;
 
 /// RNG stream lane for protocol randomness ([`Ctx::rng`]).
@@ -285,20 +288,9 @@ struct Event {
     kind: EventKind,
 }
 
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        (self.at, self.src, self.seq) == (other.at, other.src, other.seq)
-    }
-}
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.src, self.seq).cmp(&(other.at, other.src, other.seq))
+impl Keyed for Event {
+    fn key(&self) -> EventKey {
+        (self.at.as_micros(), self.src, self.seq)
     }
 }
 
@@ -330,6 +322,16 @@ pub struct SimConfig {
     /// `net.pool_*` statistics and the allocation-accounting counters
     /// (`net.alloc*`, `net.payload_pooled`) reflect the setting.
     pub pooling: bool,
+    /// Per-shard event-queue implementation (default
+    /// [`Scheduler::Wheel`], the hierarchical calendar queue). Both
+    /// schedulers pop in canonical key order, so the choice is pure
+    /// wall-clock policy — traces are byte-identical either way
+    /// (DESIGN.md §14).
+    pub scheduler: Scheduler,
+    /// Expected final node count, used to pre-reserve per-shard arena,
+    /// queue-bucket and exchange capacity at build time (0 = no
+    /// pre-reservation). Purely a performance knob.
+    pub expected_nodes: usize,
 }
 
 impl SimConfig {
@@ -342,6 +344,8 @@ impl SimConfig {
             shards: 1,
             threads: None,
             pooling: true,
+            scheduler: Scheduler::Wheel,
+            expected_nodes: 0,
         }
     }
 
@@ -354,6 +358,8 @@ impl SimConfig {
             shards: 1,
             threads: None,
             pooling: true,
+            scheduler: Scheduler::Wheel,
+            expected_nodes: 0,
         }
     }
 
@@ -366,6 +372,8 @@ impl SimConfig {
             shards: 1,
             threads: None,
             pooling: true,
+            scheduler: Scheduler::Wheel,
+            expected_nodes: 0,
         }
     }
 
@@ -387,6 +395,21 @@ impl SimConfig {
     /// [`SimConfig::pooling`]).
     pub fn with_pooling(mut self, pooling: bool) -> Self {
         self.pooling = pooling;
+        self
+    }
+
+    /// Returns the config with the given event-queue scheduler (see
+    /// [`SimConfig::scheduler`]). Traces are byte-identical for either
+    /// choice; this is the A/B knob for the `--sched` bench flag.
+    pub fn with_scheduler(mut self, scheduler: Scheduler) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Returns the config with an expected node count for capacity
+    /// pre-reservation (see [`SimConfig::expected_nodes`]).
+    pub fn with_expected_nodes(mut self, nodes: usize) -> Self {
+        self.expected_nodes = nodes;
         self
     }
 }
@@ -418,18 +441,44 @@ struct EngineEnv<'a> {
     fault: &'a FaultState,
 }
 
+/// Hot-flag bit: the slot holds a live (non-removed) protocol.
+const HOT_ALIVE: u8 = 1;
+/// Hot-flag bit: the node is crashed by a fault (`down_until` is set).
+const HOT_DOWN: u8 = 2;
+/// Hot-flag bit: the node's NAT type is `Public`, so inbound filtering
+/// always passes and the dispatch loop can skip the NAT device entirely.
+const HOT_PUBLIC: u8 = 4;
+
 /// One shard: an event queue plus the arena of nodes it owns.
+///
+/// Per-node state is split structure-of-arrays style (DESIGN.md §14):
+/// the dispatch loop's pre-delivery checks read only the dense `hot`
+/// flag bytes and `traffic` counters, while the cold [`Slot`] (protocol
+/// box, NAT device, RNG streams) is touched only once a callback
+/// actually runs.
 struct Shard {
     index: usize,
     nshards: u64,
     now: SimTime,
-    queue: BinaryHeap<Reverse<Event>>,
+    queue: EventQueue<Event>,
     slots: Vec<Slot>,
+    /// Dense per-slot flag bytes ([`HOT_ALIVE`] | [`HOT_DOWN`] |
+    /// [`HOT_PUBLIC`]), parallel to `slots`. Invariants: `HOT_DOWN` ⇔
+    /// `slot.down_until.is_some()`, `HOT_ALIVE` ⇔ `slot.proto.is_some()`.
+    hot: Vec<u8>,
+    /// Dense per-slot traffic deltas, parallel to `slots`; folded into
+    /// the master sink at sync points via `traffic_dirty`.
+    traffic: Vec<Traffic>,
+    /// Positions with a nonzero `traffic` delta since the last sync.
+    traffic_dirty: Vec<u32>,
     /// Delta metric sink, drained into the master sink at run boundaries.
     metrics: Metrics,
     /// Shard-local payload buffer pool; delivered buffers are recycled
     /// here and handed back out by [`Ctx::send_wire`].
     pool: PayloadPool,
+    /// Per-destination-shard outboxes for cross-shard sends, swapped
+    /// wholesale at window barriers (entry `index` is unused).
+    outboxes: Vec<Vec<Event>>,
     /// Queued `Deliver` events (maintained incrementally; O(1) reads).
     in_flight: u64,
     /// Live (non-removed) nodes in this shard.
@@ -437,17 +486,59 @@ struct Shard {
 }
 
 impl Shard {
-    fn new(index: usize, nshards: u64, pooling: bool) -> Self {
+    fn new(index: usize, cfg: &SimConfig) -> Self {
+        let nshards = cfg.shards as u64;
+        let mut queue = EventQueue::new(cfg.scheduler);
+        let mut slots = Vec::new();
+        let mut hot = Vec::new();
+        let mut traffic = Vec::new();
+        if cfg.expected_nodes > 0 {
+            let per_shard = cfg.expected_nodes / cfg.shards + 1;
+            // Start events + a steady-state in-flight share per node.
+            queue.reserve(per_shard * 2);
+            slots.reserve(per_shard);
+            hot.reserve(per_shard);
+            traffic.reserve(per_shard);
+        }
         Shard {
             index,
             nshards,
             now: SimTime::ZERO,
-            queue: BinaryHeap::new(),
-            slots: Vec::new(),
+            queue,
+            slots,
+            hot,
+            traffic,
+            traffic_dirty: Vec::new(),
             metrics: Metrics::new(),
-            pool: PayloadPool::new(pooling),
+            pool: PayloadPool::new(cfg.pooling),
+            outboxes: (0..cfg.shards).map(|_| Vec::new()).collect(),
             in_flight: 0,
             live: 0,
+        }
+    }
+
+    /// Credits `bytes` of payload to slot `pos` in the dense traffic
+    /// array (`up = true` for the uplink direction), marking the slot
+    /// dirty on first touch since the last sync.
+    #[inline]
+    fn record_traffic(
+        traffic: &mut [Traffic],
+        dirty: &mut Vec<u32>,
+        pos: usize,
+        up: bool,
+        bytes: usize,
+    ) {
+        let t = &mut traffic[pos];
+        if t.up_msgs | t.down_msgs == 0 {
+            dirty.push(pos as u32);
+        }
+        let total = (bytes + HEADER_OVERHEAD) as u64;
+        if up {
+            t.up_bytes += total;
+            t.up_msgs += 1;
+        } else {
+            t.down_bytes += total;
+            t.down_msgs += 1;
         }
     }
 
@@ -458,68 +549,73 @@ impl Shard {
     }
 
     /// Time of the earliest queued event in µs (`u64::MAX` if empty).
-    fn head_us(&self) -> u64 {
-        self.queue.peek().map(|Reverse(ev)| ev.at.as_micros()).unwrap_or(u64::MAX)
+    /// `&mut` because peeking may advance the calendar-queue cursor.
+    fn head_us(&mut self) -> u64 {
+        self.queue.peek_key().map(|k| k.0).unwrap_or(u64::MAX)
     }
 
     /// Processes every queued event with `at < horizon_us`. Events for
-    /// other shards are pushed to `out` (only deliveries cross shards).
-    fn run_window(&mut self, horizon_us: u64, env: &EngineEnv<'_>, out: &mut Vec<Event>) {
-        while let Some(Reverse(head)) = self.queue.peek() {
-            if head.at.as_micros() >= horizon_us {
+    /// other shards are appended to the per-destination `outboxes`.
+    fn run_window(&mut self, horizon_us: u64, env: &EngineEnv<'_>) {
+        while let Some(key) = self.queue.peek_key() {
+            if key.0 >= horizon_us {
                 break;
             }
-            let Reverse(ev) = self.queue.pop().expect("peeked");
+            let ev = self.queue.pop().expect("peeked");
             if matches!(ev.kind, EventKind::Deliver { .. }) {
                 self.in_flight -= 1;
             }
             self.now = ev.at;
-            self.metrics.set_tag(Some((ev.at.as_micros(), ev.src, ev.seq)));
-            self.dispatch(ev, env, out);
+            self.metrics.set_tag(Some(key));
+            self.dispatch(ev, env);
         }
         self.metrics.set_tag(None);
     }
 
-    fn dispatch(&mut self, ev: Event, env: &EngineEnv<'_>, out: &mut Vec<Event>) {
+    fn dispatch(&mut self, ev: Event, env: &EngineEnv<'_>) {
         match ev.kind {
             EventKind::Start { node } => {
                 let Some(pos) = self.slot_pos(node) else { return };
-                if self.slots[pos].proto.is_none() {
+                let hot = self.hot[pos];
+                if hot & HOT_ALIVE == 0 {
                     return; // removed before it started
                 }
-                if let Some(up_at) = self.slots[pos].down_until {
+                if hot & HOT_DOWN != 0 {
                     // Defer to the restart instant, reusing the original
                     // key so the relative order of deferred events is
                     // preserved (the control-class restart still sorts
                     // first).
-                    self.queue.push(Reverse(Event {
+                    let up_at = self.slots[pos].down_until.expect("HOT_DOWN set");
+                    self.queue.push(Event {
                         at: up_at.max(self.now),
                         src: ev.src,
                         seq: ev.seq,
                         kind: EventKind::Start { node },
-                    }));
+                    });
                     return;
                 }
-                self.invoke(pos, env, out, |proto, ctx| proto.on_start(ctx));
+                self.invoke(pos, env, |proto, ctx| proto.on_start(ctx));
             }
             EventKind::Timer { node, token } => {
                 let Some(pos) = self.slot_pos(node) else { return };
-                if self.slots[pos].proto.is_none() {
+                let hot = self.hot[pos];
+                if hot & HOT_ALIVE == 0 {
                     return;
                 }
                 // A crashed node runs nothing; its timers are deferred to
                 // the restart instant and fire *after* the restart
                 // callback (control events sort first at equal times).
-                if let Some(up_at) = self.slots[pos].down_until {
-                    self.queue.push(Reverse(Event {
+                if hot & HOT_DOWN != 0 {
+                    let up_at = self.slots[pos].down_until.expect("HOT_DOWN set");
+                    self.queue.push(Event {
                         at: up_at.max(self.now),
                         src: ev.src,
                         seq: ev.seq,
                         kind: EventKind::Timer { node, token },
-                    }));
+                    });
                     return;
                 }
-                self.invoke(pos, env, out, |proto, ctx| proto.on_timer(ctx, token));
+                self.invoke(pos, env, |proto, ctx| proto.on_timer(ctx, token));
             }
             EventKind::FaultCrash { node, restart_at } => {
                 let Some(pos) = self.slot_pos(node) else { return };
@@ -528,6 +624,7 @@ impl Shard {
                     return; // already removed by churn
                 }
                 slot.down_until = Some(restart_at);
+                self.hot[pos] |= HOT_DOWN;
                 // The host reboots: its NAT device forgets every binding.
                 slot.nat = NatDevice::new(slot.nat.nat_type());
                 self.metrics.count("net.fault_crash", 1);
@@ -535,8 +632,9 @@ impl Shard {
             EventKind::FaultRestart { node } => {
                 let Some(pos) = self.slot_pos(node) else { return };
                 if self.slots[pos].down_until.take().is_some() {
+                    self.hot[pos] &= !HOT_DOWN;
                     self.metrics.count("net.fault_restart", 1);
-                    self.invoke(pos, env, out, |proto, ctx| proto.on_crash_restart(ctx));
+                    self.invoke(pos, env, |proto, ctx| proto.on_crash_restart(ctx));
                 }
             }
             EventKind::FaultRebind { node } => {
@@ -552,21 +650,32 @@ impl Shard {
                     self.metrics.count("net.drop_dead_target", 1);
                     return;
                 };
-                let slot = &mut self.slots[pos];
-                if slot.proto.is_none() {
+                let hot = self.hot[pos];
+                if hot & HOT_ALIVE == 0 {
                     self.metrics.count("net.drop_dead_target", 1);
                     return;
                 }
-                if slot.down_until.is_some() {
+                if hot & HOT_DOWN != 0 {
                     self.metrics.count("net.drop_crashed", 1);
                     return;
                 }
-                if !slot.nat.inbound(to.port, from_ep, self.now) {
+                // Public nodes accept everything: skip the NAT device
+                // (its `inbound` is unconditionally true and draws no
+                // state), so the happy path stays on the hot arrays.
+                if hot & HOT_PUBLIC == 0
+                    && !self.slots[pos].nat.inbound(to.port, from_ep, self.now)
+                {
                     self.metrics.count("net.nat_blocked", 1);
                     return;
                 }
-                self.metrics.record_down(to.node, data.len());
-                self.invoke(pos, env, out, |proto, ctx| {
+                Self::record_traffic(
+                    &mut self.traffic,
+                    &mut self.traffic_dirty,
+                    pos,
+                    false,
+                    data.len(),
+                );
+                self.invoke(pos, env, |proto, ctx| {
                     proto.on_message(ctx, from, from_ep, &data)
                 });
                 // The engine's reference is the last one unless the
@@ -583,7 +692,6 @@ impl Shard {
         &mut self,
         pos: usize,
         env: &EngineEnv<'_>,
-        out: &mut Vec<Event>,
         f: impl FnOnce(&mut dyn Protocol, &mut Ctx<'_>),
     ) {
         let now = self.now;
@@ -607,20 +715,15 @@ impl Shard {
             slot.proto = Some(proto);
             effects
         };
-        self.apply_effects(pos, effects, env, out);
+        self.apply_effects(pos, effects, env);
     }
 
-    fn apply_effects(
-        &mut self,
-        pos: usize,
-        effects: Vec<Effect>,
-        env: &EngineEnv<'_>,
-        out: &mut Vec<Event>,
-    ) {
+    fn apply_effects(&mut self, pos: usize, effects: Vec<Effect>, env: &EngineEnv<'_>) {
         let nshards = self.nshards;
         let index = self.index as u64;
         let now = self.now;
-        let Shard { slots, metrics, queue, in_flight, .. } = self;
+        let Shard { slots, metrics, queue, in_flight, traffic, traffic_dirty, outboxes, .. } =
+            self;
         let slot = &mut slots[pos];
         let from = slot.id;
         for effect in effects {
@@ -633,10 +736,10 @@ impl Shard {
                         kind: EventKind::Timer { node: from, token },
                     };
                     slot.seq += 1;
-                    queue.push(Reverse(ev));
+                    queue.push(ev);
                 }
                 Effect::Send { to, data } => {
-                    metrics.record_up(from, data.len());
+                    Self::record_traffic(traffic, traffic_dirty, pos, true, data.len());
                     // Loopback: skip NAT and loss, deliver with link delay.
                     if to.node == from {
                         let delay = env.cfg.profile.link.sample(&mut slot.link_rng);
@@ -649,7 +752,7 @@ impl Shard {
                         };
                         slot.seq += 1;
                         *in_flight += 1;
-                        queue.push(Reverse(ev));
+                        queue.push(ev);
                         continue;
                     }
                     let src_port = slot.nat.outbound(to, now, env.cfg.nat_lease);
@@ -679,27 +782,162 @@ impl Shard {
                         kind: EventKind::Deliver { to, from, from_ep, data },
                     };
                     slot.seq += 1;
-                    if to.node.0 % nshards == index {
+                    let dest = (to.node.0 % nshards) as usize;
+                    if dest == index as usize {
                         *in_flight += 1;
-                        queue.push(Reverse(ev));
+                        queue.push(ev);
                     } else {
-                        out.push(ev);
+                        outboxes[dest].push(ev);
                     }
                 }
             }
         }
     }
+
+    /// Absorbs one batch of cross-shard deliveries into the local queue,
+    /// returning the drained (capacity-preserving) vector to the caller.
+    fn absorb(&mut self, batch: &mut Vec<Event>) {
+        for ev in batch.drain(..) {
+            debug_assert!(
+                matches!(ev.kind, EventKind::Deliver { .. }),
+                "only deliveries cross shards"
+            );
+            self.in_flight += 1;
+            self.queue.push(ev);
+        }
+    }
 }
 
-/// Pushes cross-shard events into their destination shards' queues.
-fn route(shards: &mut [Shard], evs: Vec<Event>, nshards: u64) {
-    for ev in evs {
-        let dest = match &ev.kind {
-            EventKind::Deliver { to, .. } => (to.node.0 % nshards) as usize,
-            _ => unreachable!("only deliveries cross shards"),
-        };
-        shards[dest].in_flight += 1;
-        shards[dest].queue.push(Reverse(ev));
+/// Sequentially exchanges every shard's outboxes: each nonempty
+/// per-destination batch is drained into its destination's queue in
+/// place, so the steady state moves events without a single allocation
+/// (the batch vectors keep their capacity forever).
+fn exchange_sequential(shards: &mut [Shard]) {
+    for src in 0..shards.len() {
+        for dst in 0..shards.len() {
+            if src == dst || shards[src].outboxes[dst].is_empty() {
+                continue;
+            }
+            let mut batch = std::mem::take(&mut shards[src].outboxes[dst]);
+            shards[dst].absorb(&mut batch);
+            shards[src].outboxes[dst] = batch;
+        }
+    }
+}
+
+/// Sentinel horizon value telling workers the run is over.
+const STOP: u64 = u64::MAX;
+
+/// Read-only run environment shipped to pooled workers (the engine's
+/// borrowed [`EngineEnv`], made `'static` by cloning).
+struct RunEnv {
+    cfg: SimConfig,
+    fault: FaultState,
+}
+
+/// Shared coordination state for one threaded run: the window barrier,
+/// the published horizon, per-shard local minima, per-destination inbox
+/// batch lists and the spare-vector pool for batch recycling.
+struct RunSync {
+    barrier: Barrier,
+    horizon: AtomicU64,
+    next_at: Vec<AtomicU64>,
+    /// Per-destination lists of cross-shard batches (one lock per
+    /// (src, dst) pair per window instead of one per event).
+    inboxes: Vec<Mutex<Vec<Vec<Event>>>>,
+    /// Drained batch vectors waiting for reuse; receivers return
+    /// capacity here, senders draw replacements from it.
+    spares: Mutex<Vec<Vec<Event>>>,
+    /// Fresh batch vectors created because `spares` ran dry (steady
+    /// state: zero).
+    fresh: AtomicU64,
+}
+
+/// One threaded run's work order: the worker's shard plus the shared
+/// environment and coordination state.
+struct Job {
+    shard: Shard,
+    env: Arc<RunEnv>,
+    sync: Arc<RunSync>,
+    index: usize,
+}
+
+/// A persistent engine worker: jobs go in, shards come back. The thread
+/// outlives individual `run_until` calls (and their windows), so a long
+/// simulation pays thread spawn cost once instead of per run.
+struct PoolWorker {
+    job_tx: Option<Sender<Job>>,
+    shard_rx: Receiver<Shard>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+/// The persistent worker pool for threaded sharded runs.
+struct WorkerPool {
+    workers: Vec<PoolWorker>,
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        for w in &mut self.workers {
+            w.job_tx.take(); // closing the channel ends the worker loop
+        }
+        for w in &mut self.workers {
+            if let Some(h) = w.handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+/// Body of a pooled engine worker: run every window of a job's shard
+/// (identical event-processing protocol to the sequential loop), then
+/// hand the shard back and wait for the next job.
+fn worker_loop(job_rx: Receiver<Job>, shard_tx: Sender<Shard>) {
+    while let Ok(job) = job_rx.recv() {
+        let Job { mut shard, env, sync, index } = job;
+        let n = sync.next_at.len();
+        {
+            let eenv = EngineEnv { cfg: &env.cfg, fault: &env.fault };
+            loop {
+                sync.barrier.wait(); // window start: horizon published
+                let h = sync.horizon.load(Ordering::SeqCst);
+                if h == STOP {
+                    break;
+                }
+                shard.run_window(h, &eenv);
+                for dst in 0..n {
+                    if dst == index || shard.outboxes[dst].is_empty() {
+                        continue;
+                    }
+                    let replacement = {
+                        let mut spares = sync.spares.lock().expect("spares poisoned");
+                        spares.pop()
+                    }
+                    .unwrap_or_else(|| {
+                        sync.fresh.fetch_add(1, Ordering::Relaxed);
+                        Vec::new()
+                    });
+                    let batch = std::mem::replace(&mut shard.outboxes[dst], replacement);
+                    sync.inboxes[dst].lock().expect("inbox poisoned").push(batch);
+                }
+                sync.barrier.wait(); // all cross-shard sends flushed
+                let mine =
+                    std::mem::take(&mut *sync.inboxes[index].lock().expect("inbox poisoned"));
+                for mut batch in mine {
+                    shard.absorb(&mut batch);
+                    sync.spares.lock().expect("spares poisoned").push(batch);
+                }
+                sync.next_at[index].store(shard.head_us(), Ordering::SeqCst);
+                sync.barrier.wait(); // local minima published
+            }
+        }
+        // Release the shared state *before* returning the shard so the
+        // coordinator can reclaim the spare pool without contention.
+        drop(env);
+        drop(sync);
+        if shard_tx.send(shard).is_err() {
+            return;
+        }
     }
 }
 
@@ -721,6 +959,14 @@ pub struct Sim {
     lookahead_us: u64,
     /// Whether `run_until` uses worker threads (trace-invariant).
     threaded: bool,
+    /// Persistent worker threads for threaded runs (spawned lazily on
+    /// the first threaded `run_until`, reused across runs and windows).
+    worker_pool: Option<WorkerPool>,
+    /// Cross-shard batch vectors kept warm between threaded runs.
+    exchange_spares: Vec<Vec<Event>>,
+    /// Fresh exchange vectors created since the last metrics sync
+    /// (flushed to the `net.pool_exchange_fresh` counter).
+    exchange_fresh: u64,
 }
 
 impl Sim {
@@ -746,9 +992,7 @@ impl Sim {
                 std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1) > 1
             });
         let harness_rng = StdRng::for_stream_lane(cfg.seed, 0, LANE_HARNESS);
-        let shards = (0..cfg.shards)
-            .map(|i| Shard::new(i, cfg.shards as u64, cfg.pooling))
-            .collect();
+        let shards = (0..cfg.shards).map(|i| Shard::new(i, &cfg)).collect();
         Sim {
             cfg,
             now: SimTime::ZERO,
@@ -760,6 +1004,9 @@ impl Sim {
             control_seq: 0,
             lookahead_us,
             threaded,
+            worker_pool: None,
+            exchange_spares: Vec::new(),
+            exchange_fresh: 0,
         }
     }
 
@@ -841,6 +1088,8 @@ impl Sim {
             down_until: None,
             ge_bad: Vec::new(),
         });
+        shard.hot.push(HOT_ALIVE | if nat_type.is_public() { HOT_PUBLIC } else { 0 });
+        shard.traffic.push(Traffic::default());
         shard.live += 1;
         self.push_control(self.now, id, EventKind::Start { node: id });
         id
@@ -849,12 +1098,14 @@ impl Sim {
     /// Removes a node abruptly (crash semantics: no notification, pending
     /// messages to it are dropped, its NAT state disappears). O(1).
     pub fn remove_node(&mut self, id: NodeId) {
-        if let Some(slot) = self.slot_mut(id) {
+        let shard = &mut self.shards[(id.0 % self.cfg.shards as u64) as usize];
+        if let Some(pos) = shard.slot_pos(id) {
+            let slot = &mut shard.slots[pos];
             if slot.proto.take().is_some() {
                 slot.down_until = None;
                 slot.nat = NatDevice::new(slot.nat.nat_type());
-                let si = (id.0 % self.cfg.shards as u64) as usize;
-                self.shards[si].live -= 1;
+                shard.hot[pos] &= !(HOT_ALIVE | HOT_DOWN);
+                shard.live -= 1;
             }
         }
     }
@@ -916,9 +1167,7 @@ impl Sim {
         f: impl FnOnce(&mut T, &mut Ctx<'_>),
     ) -> bool {
         let now = self.now;
-        let nshards = self.cfg.shards as u64;
-        let si = (id.0 % nshards) as usize;
-        let mut moved: Vec<Event> = Vec::new();
+        let si = (id.0 % self.cfg.shards as u64) as usize;
         let applied = {
             let Sim { cfg, fault, shards, metrics, .. } = self;
             let env = EngineEnv { cfg, fault };
@@ -950,10 +1199,10 @@ impl Sim {
             let effects = std::mem::take(&mut ctx.effects);
             std::mem::take(&mut ctx.tally).flush(ctx.metrics);
             slot.proto = Some(proto);
-            shard.apply_effects(pos, effects, &env, &mut moved);
+            shard.apply_effects(pos, effects, &env);
             applied
         };
-        route(&mut self.shards, moved, nshards);
+        exchange_sequential(&mut self.shards);
         self.sync_metrics();
         applied
     }
@@ -965,11 +1214,13 @@ impl Sim {
         if self.cfg.shards == 1 {
             // Classic path: everything is local to the single shard, so
             // one "window" covering the whole run suffices.
-            let mut moved = Vec::new();
             let Sim { cfg, fault, shards, .. } = self;
             let env = EngineEnv { cfg, fault };
-            shards[0].run_window(deadline_us.saturating_add(1), &env, &mut moved);
-            debug_assert!(moved.is_empty(), "a single shard cannot emit cross-shard events");
+            shards[0].run_window(deadline_us.saturating_add(1), &env);
+            debug_assert!(
+                shards[0].outboxes.iter().all(Vec::is_empty),
+                "a single shard cannot emit cross-shard events"
+            );
         } else if self.threaded {
             self.run_until_threaded(deadline_us);
         } else {
@@ -997,88 +1248,98 @@ impl Sim {
     /// Byte-identical to the threaded loop.
     fn run_until_sequential(&mut self, deadline_us: u64) {
         let lookahead = self.lookahead_us;
-        let nshards = self.cfg.shards as u64;
         loop {
-            let t_next = self.shards.iter().map(Shard::head_us).min().unwrap_or(u64::MAX);
+            let t_next = self.shards.iter_mut().map(Shard::head_us).min().unwrap_or(u64::MAX);
             if t_next > deadline_us {
                 break;
             }
             let horizon = t_next.saturating_add(lookahead).min(deadline_us.saturating_add(1));
-            let mut moved = Vec::new();
             {
                 let Sim { cfg, fault, shards, .. } = self;
                 let env = EngineEnv { cfg, fault };
                 for shard in shards.iter_mut() {
-                    shard.run_window(horizon, &env, &mut moved);
+                    shard.run_window(horizon, &env);
                 }
             }
-            route(&mut self.shards, moved, nshards);
+            exchange_sequential(&mut self.shards);
         }
     }
 
-    /// Threaded conservative-window loop: one scoped worker per shard,
-    /// three barrier crossings per window (process, exchange, publish
-    /// local minima). Event keys make queue contents order-insensitive,
-    /// so inbox arrival order cannot leak into the trace.
+    /// Threaded conservative-window loop on the persistent worker pool:
+    /// each worker owns its shard for the duration of the run, with
+    /// three barrier crossings per window (process, exchange batches,
+    /// publish local minima). Event keys make queue contents
+    /// order-insensitive, so inbox arrival order cannot leak into the
+    /// trace; batch vectors recycle through the shared spare pool.
     fn run_until_threaded(&mut self, deadline_us: u64) {
-        const STOP: u64 = u64::MAX;
         let n = self.shards.len();
+        self.ensure_worker_pool();
         let lookahead = self.lookahead_us;
-        let horizon = AtomicU64::new(0);
         let next_at: Vec<AtomicU64> =
-            self.shards.iter().map(|s| AtomicU64::new(s.head_us())).collect();
-        let inboxes: Vec<Mutex<Vec<Event>>> = (0..n).map(|_| Mutex::new(Vec::new())).collect();
-        let barrier = Barrier::new(n + 1);
-        let Sim { cfg, fault, shards, .. } = self;
-        let nshards = cfg.shards as u64;
-        let env = EngineEnv { cfg, fault };
-        std::thread::scope(|scope| {
-            for (i, shard) in shards.iter_mut().enumerate() {
-                let (barrier, horizon, next_at, inboxes, env) =
-                    (&barrier, &horizon, &next_at, &inboxes, &env);
-                scope.spawn(move || {
-                    let mut out: Vec<Event> = Vec::new();
-                    loop {
-                        barrier.wait(); // window start: horizon published
-                        let h = horizon.load(Ordering::SeqCst);
-                        if h == STOP {
-                            break;
-                        }
-                        shard.run_window(h, env, &mut out);
-                        for ev in out.drain(..) {
-                            let EventKind::Deliver { to, .. } = &ev.kind else {
-                                unreachable!("only deliveries cross shards")
-                            };
-                            let dest = (to.node.0 % nshards) as usize;
-                            inboxes[dest].lock().expect("inbox poisoned").push(ev);
-                        }
-                        barrier.wait(); // all cross-shard sends flushed
-                        let mine = std::mem::take(&mut *inboxes[i].lock().expect("inbox poisoned"));
-                        for ev in mine {
-                            shard.in_flight += 1;
-                            shard.queue.push(Reverse(ev));
-                        }
-                        next_at[i].store(shard.head_us(), Ordering::SeqCst);
-                        barrier.wait(); // local minima published
-                    }
-                });
-            }
-            // Coordinator: computes each window from the published minima.
-            loop {
-                let t_next =
-                    next_at.iter().map(|a| a.load(Ordering::SeqCst)).min().unwrap_or(STOP);
-                if t_next > deadline_us {
-                    horizon.store(STOP, Ordering::SeqCst);
-                    barrier.wait(); // release workers to observe STOP
-                    break;
-                }
-                let h = t_next.saturating_add(lookahead).min(deadline_us.saturating_add(1));
-                horizon.store(h, Ordering::SeqCst);
-                barrier.wait(); // window start
-                barrier.wait(); // sends flushed
-                barrier.wait(); // minima published
-            }
+            self.shards.iter_mut().map(|s| AtomicU64::new(s.head_us())).collect();
+        let env = Arc::new(RunEnv { cfg: self.cfg.clone(), fault: self.fault.clone() });
+        let sync = Arc::new(RunSync {
+            barrier: Barrier::new(n + 1),
+            horizon: AtomicU64::new(0),
+            next_at,
+            inboxes: (0..n).map(|_| Mutex::new(Vec::new())).collect(),
+            spares: Mutex::new(std::mem::take(&mut self.exchange_spares)),
+            fresh: AtomicU64::new(0),
         });
+        let pool = self.worker_pool.as_ref().expect("pool ensured above");
+        for (index, shard) in std::mem::take(&mut self.shards).into_iter().enumerate() {
+            let job =
+                Job { shard, env: Arc::clone(&env), sync: Arc::clone(&sync), index };
+            pool.workers[index]
+                .job_tx
+                .as_ref()
+                .expect("pool alive")
+                .send(job)
+                .expect("worker alive");
+        }
+        // Coordinator: computes each window from the published minima.
+        loop {
+            let t_next =
+                sync.next_at.iter().map(|a| a.load(Ordering::SeqCst)).min().unwrap_or(STOP);
+            if t_next > deadline_us {
+                sync.horizon.store(STOP, Ordering::SeqCst);
+                sync.barrier.wait(); // release workers to observe STOP
+                break;
+            }
+            let h = t_next.saturating_add(lookahead).min(deadline_us.saturating_add(1));
+            sync.horizon.store(h, Ordering::SeqCst);
+            sync.barrier.wait(); // window start
+            sync.barrier.wait(); // sends flushed
+            sync.barrier.wait(); // minima published
+        }
+        self.shards = pool
+            .workers
+            .iter()
+            .map(|w| w.shard_rx.recv().expect("worker returns its shard"))
+            .collect();
+        self.exchange_fresh += sync.fresh.load(Ordering::SeqCst);
+        // Workers have dropped their Arc clones (before returning their
+        // shards), so the spare pool can be reclaimed for the next run.
+        self.exchange_spares =
+            std::mem::take(&mut *sync.spares.lock().expect("spares poisoned"));
+    }
+
+    /// Spawns the persistent worker pool if it does not exist yet (one
+    /// worker per shard).
+    fn ensure_worker_pool(&mut self) {
+        let n = self.cfg.shards;
+        if self.worker_pool.as_ref().is_some_and(|p| p.workers.len() == n) {
+            return;
+        }
+        let workers = (0..n)
+            .map(|_| {
+                let (job_tx, job_rx) = mpsc::channel::<Job>();
+                let (shard_tx, shard_rx) = mpsc::channel::<Shard>();
+                let handle = std::thread::spawn(move || worker_loop(job_rx, shard_tx));
+                PoolWorker { job_tx: Some(job_tx), shard_rx, handle: Some(handle) }
+            })
+            .collect();
+        self.worker_pool = Some(WorkerPool { workers });
     }
 
     /// Pushes a control-plane event (owned by `node`'s shard).
@@ -1087,7 +1348,7 @@ impl Sim {
         let seq = self.control_seq;
         self.control_seq += 1;
         let si = (node.0 % self.cfg.shards as u64) as usize;
-        self.shards[si].queue.push(Reverse(Event { at, src: CONTROL_SRC, seq, kind }));
+        self.shards[si].queue.push(Event { at, src: CONTROL_SRC, seq, kind });
     }
 
     fn slot(&self, id: NodeId) -> Option<&Slot> {
@@ -1108,6 +1369,10 @@ impl Sim {
     /// therefore exempt from the determinism-trace comparison (DESIGN.md
     /// §13), like the `*_wall_us` samples.
     fn sync_metrics(&mut self) {
+        if self.exchange_fresh > 0 {
+            self.metrics.count("net.pool_exchange_fresh", self.exchange_fresh);
+            self.exchange_fresh = 0;
+        }
         let deltas: Vec<Metrics> = self
             .shards
             .iter_mut()
@@ -1124,6 +1389,15 @@ impl Sim {
                     if v > 0 {
                         s.metrics.count(name, v);
                     }
+                }
+                // Fold the dense per-slot traffic deltas into the shard
+                // sink (dirty positions only, then reset — the master map
+                // merge below reconstructs per-node totals).
+                let nshards = s.nshards;
+                let base = s.index as u64;
+                for pos in s.traffic_dirty.drain(..) {
+                    let t = std::mem::take(&mut s.traffic[pos as usize]);
+                    s.metrics.add_traffic(NodeId(pos as u64 * nshards + base), t);
                 }
                 std::mem::take(&mut s.metrics)
             })

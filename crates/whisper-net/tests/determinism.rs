@@ -11,6 +11,7 @@
 //! See `DESIGN.md` § "Determinism & randomness".
 
 use whisper_net::nat::NatType;
+use whisper_net::sched::Scheduler;
 use whisper_net::sim::{Ctx, Protocol, Sim, SimConfig};
 use whisper_net::{Endpoint, NodeId, Payload, SimDuration};
 use whisper_rand::{Rng, RngCore};
@@ -82,8 +83,26 @@ fn run_trace_sharded(seed: u64, shards: usize, threaded: bool) -> Vec<u8> {
 /// shard count, buffer recycling is a performance knob the trace must not
 /// see (DESIGN.md §13).
 fn run_trace_configured(seed: u64, shards: usize, threaded: bool, pooling: bool) -> Vec<u8> {
+    run_trace_scheduled(seed, shards, threaded, pooling, Scheduler::Wheel)
+}
+
+/// [`run_trace_configured`] with an explicit event-queue scheduler: the
+/// calendar queue and the reference heap must pop in identical canonical
+/// key order, so the scheduler choice is a pure wall-clock knob
+/// (DESIGN.md §14).
+fn run_trace_scheduled(
+    seed: u64,
+    shards: usize,
+    threaded: bool,
+    pooling: bool,
+    sched: Scheduler,
+) -> Vec<u8> {
     let mut sim = Sim::new(
-        SimConfig::planetlab(seed).with_shards(shards).with_threads(threaded).with_pooling(pooling),
+        SimConfig::planetlab(seed)
+            .with_shards(shards)
+            .with_threads(threaded)
+            .with_pooling(pooling)
+            .with_scheduler(sched),
     );
     let peers: Vec<NodeId> = (0..16).map(NodeId).collect();
     for _ in 0..16u64 {
@@ -178,6 +197,40 @@ fn pooling_is_invisible_to_the_trace() {
             pooled == sharded_unpooled,
             "seed {seed}: 4-shard pool-off trace diverged from 1-shard pool-on"
         );
+    }
+}
+
+/// The tentpole clause of DESIGN.md §14: the hierarchical calendar queue
+/// and the reference binary heap produce **byte-identical** traces for
+/// every seed in the matrix, at 1, 2 and 4 shards, sequential and
+/// threaded. Ties at the same instant, crash-deferral re-keys and
+/// far-future timers must all pop in the same canonical key order from
+/// either structure.
+#[test]
+fn scheduler_is_invisible_to_the_trace() {
+    for seed in [7u64, 11, 13] {
+        let base = run_trace_scheduled(seed, 1, false, true, Scheduler::Wheel);
+        assert!(!base.is_empty(), "seed {seed}: empty trace proves nothing");
+        for shards in [1usize, 2, 4] {
+            assert!(
+                base == run_trace_scheduled(seed, shards, false, true, Scheduler::Heap),
+                "seed {seed}: heap {shards}-shard sequential trace diverged from wheel"
+            );
+            if shards > 1 {
+                assert!(
+                    base == run_trace_scheduled(seed, shards, false, true, Scheduler::Wheel),
+                    "seed {seed}: wheel {shards}-shard sequential trace diverged"
+                );
+                assert!(
+                    base == run_trace_scheduled(seed, shards, true, true, Scheduler::Heap),
+                    "seed {seed}: heap {shards}-shard threaded trace diverged from wheel"
+                );
+                assert!(
+                    base == run_trace_scheduled(seed, shards, true, true, Scheduler::Wheel),
+                    "seed {seed}: wheel {shards}-shard threaded trace diverged"
+                );
+            }
+        }
     }
 }
 
