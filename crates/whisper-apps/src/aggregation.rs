@@ -134,6 +134,11 @@ impl AggregationApp {
 }
 
 impl GroupApp for AggregationApp {
+    // No `on_crash_restart` override: the push-pull exchange keeps no
+    // in-flight bookkeeping (a lost response simply leaves this node's
+    // full value in place, which is the mass-conserving failure mode),
+    // so the default no-op is the correct volatile-state reset.
+
     fn on_joined(&mut self, ctx: &mut Ctx<'_>, api: &mut WhisperApi<'_>, group: GroupId) {
         if group == self.group {
             api.set_app_timer(ctx, self.cycle, AGG_TIMER);

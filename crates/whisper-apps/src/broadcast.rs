@@ -240,6 +240,15 @@ impl GroupApp for BroadcastApp {
         }
     }
 
+    fn on_crash_restart(&mut self, _ctx: &mut Ctx<'_>, _api: &mut WhisperApi<'_>) {
+        // The payload buffer is volatile — anti-entropy refills it from
+        // peers. The dedup set, delivery log and sequence counter model
+        // the app's own durable journal: a publisher that reused
+        // sequence numbers after a crash would collide with its pre-crash
+        // event ids and silently lose events at every subscriber.
+        self.store.clear();
+    }
+
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, api: &mut WhisperApi<'_>, token: u64) {
         if token != BCAST_TIMER {
             return;

@@ -450,6 +450,18 @@ impl GroupApp for GosSkipApp {
         }
     }
 
+    fn on_crash_restart(&mut self, _ctx: &mut Ctx<'_>, _api: &mut WhisperApi<'_>) {
+        // Outstanding searches can never resolve (their reply path died
+        // with the process); the skip-graph view and directory are
+        // volatile caches regrown by the T-Man cycle. Results already
+        // surfaced stay, and the level is re-derived from the node id.
+        self.pending_search.clear();
+        self.pending_range.clear();
+        self.view.clear();
+        self.directory.clear();
+        self.my_level = None;
+    }
+
     fn on_view_updated(&mut self, _ctx: &mut Ctx<'_>, api: &mut WhisperApi<'_>, group: GroupId) {
         if group == self.group {
             self.seed_from_ppss(api);

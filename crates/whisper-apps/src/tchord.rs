@@ -358,6 +358,18 @@ impl GroupApp for TChordApp {
         }
     }
 
+    fn on_crash_restart(&mut self, _ctx: &mut Ctx<'_>, _api: &mut WhisperApi<'_>) {
+        // In-flight lookups reference WCL message state that died with
+        // the process; the routing view, directory and ring neighbours
+        // are volatile caches the T-Man cycle regrows from the PPSS.
+        // Completed lookups were already surfaced to the caller and the
+        // ring key is re-derived deterministically from the node id.
+        self.pending.clear();
+        self.view.clear();
+        self.directory.clear();
+        self.neighbors = RingNeighbors::default();
+    }
+
     fn on_view_updated(&mut self, _ctx: &mut Ctx<'_>, api: &mut WhisperApi<'_>, group: GroupId) {
         if group == self.group {
             self.seed_from_ppss(api);

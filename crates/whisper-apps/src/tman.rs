@@ -42,6 +42,12 @@ impl<D: Descriptor> TManView<D> {
         &self.entries
     }
 
+    /// Drops every descriptor (crash-restart: the view is a volatile
+    /// cache the gossip cycle regrows).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
     /// Number of descriptors held.
     pub fn len(&self) -> usize {
         self.entries.len()

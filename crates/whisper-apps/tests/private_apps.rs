@@ -411,3 +411,203 @@ fn gosskip_sorted_overlay_answers_point_and_range_queries() {
         );
     }
 }
+
+// ---------------------------------------------------------------------
+// Crash-restart regressions: every app's `on_crash_restart` must drop
+// exactly the volatile state (in-flight bookkeeping, overlay caches) and
+// keep exactly the durable state (surfaced results, sequence counters).
+// ---------------------------------------------------------------------
+
+#[test]
+fn tchord_crash_restart_drops_inflight_and_regrows_the_ring() {
+    let mut cfg = WhisperConfig::default();
+    cfg.ppss.cycle = SimDuration::from_secs(30);
+    let (mut sim, group, _leader, members) = build_group(
+        26,
+        10,
+        &cfg,
+        SimConfig::cluster(81),
+        |g| Box::new(TChordApp::new(g, TChordConfig::default())),
+        250,
+    );
+    sim.run_for_secs(700);
+    let joined: Vec<NodeId> = members
+        .iter()
+        .copied()
+        .filter(|m| {
+            sim.node::<WhisperNode>(*m)
+                .is_some_and(|n| n.ppss().group(group).is_some())
+        })
+        .collect();
+    assert!(joined.len() >= 8, "{} joined", joined.len());
+    let subject = joined[1];
+
+    // Create in-flight state, then crash the app.
+    sim.with_node_ctx::<WhisperNode>(subject, |node, ctx| {
+        node.with_api(|api, app| {
+            {
+                let tc: &mut TChordApp = app.as_any_mut().downcast_mut().unwrap();
+                tc.lookup(ctx, api, ChordKey::of_data(b"doomed-query"));
+                assert!(tc.pending_count() >= 1, "lookup is in flight");
+                assert!(!tc.neighbors().successors.is_empty(), "ring formed");
+            }
+            app.on_crash_restart(ctx, api);
+            let tc: &TChordApp = app.as_any().downcast_ref().unwrap();
+            assert_eq!(tc.pending_count(), 0, "in-flight lookups died with the process");
+            assert!(tc.neighbors().successors.is_empty(), "ring cache dropped");
+            assert!(tc.neighbors().predecessor.is_none(), "predecessor dropped");
+            assert!(tc.my_key().is_some(), "ring key re-derivable, kept");
+        });
+    });
+
+    // The overlay is regrown from the PPSS within a few T-Man cycles —
+    // the reset is a clean slate, not a dead end.
+    sim.run_for_secs(400);
+    let app: &TChordApp = sim.node::<WhisperNode>(subject).unwrap().app().unwrap();
+    assert!(
+        !app.neighbors().successors.is_empty(),
+        "ring regrew after restart"
+    );
+}
+
+#[test]
+fn gosskip_crash_restart_keeps_surfaced_results_only() {
+    use whisper_apps::gosskip::{GosSkipApp, GosSkipConfig};
+    let mut cfg = WhisperConfig::default();
+    cfg.ppss.cycle = SimDuration::from_secs(30);
+    let (mut sim, group, _leader, members) = build_group(
+        26,
+        10,
+        &cfg,
+        SimConfig::cluster(82),
+        |g| Box::new(GosSkipApp::new(g, 0, GosSkipConfig::default())),
+        250,
+    );
+    for &m in &members {
+        sim.with_node_ctx::<WhisperNode>(m, |node, _| {
+            node.with_api(|_, app| {
+                let app: &mut GosSkipApp = app.as_any_mut().downcast_mut().unwrap();
+                *app = GosSkipApp::new(group, m.0 * 1000, GosSkipConfig::default());
+            });
+        });
+    }
+    sim.run_for_secs(700);
+    let joined: Vec<NodeId> = members
+        .iter()
+        .copied()
+        .filter(|m| {
+            sim.node::<WhisperNode>(*m)
+                .is_some_and(|n| n.ppss().group(group).is_some())
+        })
+        .collect();
+    assert!(joined.len() >= 8, "{} joined", joined.len());
+    let subject = joined[1];
+
+    // Complete one search so a surfaced result exists.
+    sim.with_node_ctx::<WhisperNode>(subject, |node, ctx| {
+        node.with_api(|api, app| {
+            let gs: &mut GosSkipApp = app.as_any_mut().downcast_mut().unwrap();
+            gs.search(ctx, api, joined[3].0 * 1000 + 1);
+        });
+    });
+    sim.run_for_secs(90);
+    let surfaced = sim
+        .node::<WhisperNode>(subject)
+        .unwrap()
+        .app::<GosSkipApp>()
+        .unwrap()
+        .searches()
+        .len();
+
+    sim.with_node_ctx::<WhisperNode>(subject, |node, ctx| {
+        node.with_api(|api, app| {
+            {
+                let gs: &mut GosSkipApp = app.as_any_mut().downcast_mut().unwrap();
+                // Leave a search in flight when the crash hits.
+                gs.search(ctx, api, joined[4].0 * 1000 + 1);
+            }
+            app.on_crash_restart(ctx, api);
+            let gs: &GosSkipApp = app.as_any().downcast_ref().unwrap();
+            assert_eq!(gs.searches().len(), surfaced, "surfaced results survive");
+            let (left, right) = gs.list_neighbors();
+            assert!(left.is_none() && right.is_none(), "overlay cache dropped");
+        });
+    });
+
+    // The sorted overlay regrows; the orphaned search never resurfaces a
+    // duplicate result.
+    sim.run_for_secs(400);
+    let app: &GosSkipApp = sim.node::<WhisperNode>(subject).unwrap().app().unwrap();
+    let (_, right) = app.list_neighbors();
+    assert!(right.is_some(), "overlay regrew after restart");
+}
+
+#[test]
+fn broadcast_crash_restart_never_reuses_sequence_numbers() {
+    use whisper_apps::broadcast::{BroadcastApp, BroadcastConfig};
+    let mut cfg = WhisperConfig::default();
+    cfg.ppss.cycle = SimDuration::from_secs(30);
+    let (mut sim, group, _leader, members) = build_group(
+        26,
+        10,
+        &cfg,
+        SimConfig::cluster(83),
+        |g| Box::new(BroadcastApp::new(g, BroadcastConfig::default())),
+        250,
+    );
+    sim.run_for_secs(250);
+    let joined: Vec<NodeId> = members
+        .iter()
+        .copied()
+        .filter(|m| {
+            sim.node::<WhisperNode>(*m)
+                .is_some_and(|n| n.ppss().group(group).is_some())
+        })
+        .collect();
+    assert!(joined.len() >= 8, "{} joined", joined.len());
+    let speaker = joined[1];
+
+    let mut pre_crash_seq = 0;
+    sim.with_node_ctx::<WhisperNode>(speaker, |node, ctx| {
+        node.with_api(|api, app| {
+            let id = {
+                let bc: &mut BroadcastApp = app.as_any_mut().downcast_mut().unwrap();
+                bc.publish(ctx, api, b"before-crash".to_vec())
+            };
+            pre_crash_seq = id.seq;
+            app.on_crash_restart(ctx, api);
+            let bc: &mut BroadcastApp = app.as_any_mut().downcast_mut().unwrap();
+            // The sequence counter is the app's durable journal: reusing
+            // a pre-crash seq would collide event ids and silently lose
+            // events at every subscriber's dedup set.
+            let id2 = bc.publish(ctx, api, b"after-crash".to_vec());
+            assert!(id2.seq > pre_crash_seq, "sequence numbers never reused");
+            assert_eq!(bc.published(), 2, "publish count survives the crash");
+        });
+    });
+
+    // Both events — including the pre-crash one, whose payload buffer
+    // was wiped — reach the other members via anti-entropy from peers
+    // that already held it.
+    sim.run_for_secs(240);
+    let mut got_both = 0;
+    for &m in &joined {
+        if m == speaker {
+            continue;
+        }
+        let app: &BroadcastApp = sim.node::<WhisperNode>(m).unwrap().app().unwrap();
+        let from_speaker = app
+            .delivered()
+            .iter()
+            .filter(|e| e.id.origin == speaker)
+            .count();
+        if from_speaker >= 2 {
+            got_both += 1;
+        }
+    }
+    assert!(
+        got_both >= joined.len() - 2,
+        "{got_both}/{} members hold both events across the crash",
+        joined.len() - 1
+    );
+}

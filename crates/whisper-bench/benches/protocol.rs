@@ -32,6 +32,7 @@ fn bench_wire(c: &mut Bench) {
         sender_public: true,
         entries: sample_entries(5),
         key: Some(vec![0xAB; 52]),
+        descs: vec![],
     };
     let bytes = msg.to_wire();
     group.throughput(Throughput::Bytes(bytes.len() as u64));

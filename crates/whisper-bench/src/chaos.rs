@@ -104,6 +104,15 @@ impl GroupApp for EchoApp {
         }
     }
 
+    fn on_crash_restart(&mut self, _ctx: &mut Ctx<'_>, _api: &mut WhisperApi<'_>) {
+        // Requests in flight at the crash reference WCL message ids that
+        // died with the process; an answer arriving after the restart
+        // must not be counted as delivered (the app genuinely lost the
+        // request context). `sent` stays — those requests are charged
+        // against delivery, which is exactly the cost of crashing.
+        self.inflight.clear();
+    }
+
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }
@@ -456,5 +465,283 @@ fn collect(net: &WhisperNet, skipped: u64) -> ChaosOutcome {
         empty_views,
         live_nodes,
         counters,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Group-lifecycle chaos: the durable-group acceptance scenario.
+// ---------------------------------------------------------------------
+
+/// What one group-lifecycle run produced (tentpole acceptance: groups
+/// created, joined, migrated and deleted while partitions and staggered
+/// crash/restarts are active).
+#[derive(Clone, Debug)]
+pub struct LifecycleOutcome {
+    /// The tracked echo workload over the surviving groups.
+    pub echo: ChaosOutcome,
+    /// Groups deleted mid-run (their leaders published tombstones).
+    pub deleted: Vec<GroupId>,
+    /// Live nodes still holding a deleted group at the end. The
+    /// tentpole invariant: **zero**, always.
+    pub resurrections: usize,
+    /// Number of descriptor-adoption latency samples observed.
+    pub desc_prop_samples: usize,
+    /// 95th percentile of descriptor propagation latency, seconds
+    /// (publication → adoption by a member, across partitions and
+    /// restarts).
+    pub desc_prop_p95_s: f64,
+    /// Live members of the group created *mid-run* (join-under-churn).
+    pub late_members: usize,
+    /// Whether the migrated member ended the run holding its new group.
+    pub migrated_ok: bool,
+    /// Journal records replayed across all crash-restarts.
+    pub journal_replays: u64,
+    /// Groups restored from journal replay across all crash-restarts.
+    pub journal_restored: u64,
+    /// Mean wall-clock journal recovery time per restart, microseconds
+    /// (host-dependent; never part of the determinism trace).
+    pub replay_wall_us_mean: f64,
+    /// Serialized deterministic observables (counters minus the
+    /// shard-local `net.pool_*` family, samples minus the host-dependent
+    /// `*_wall_us` family, per-node traffic, final clock). Byte-identical
+    /// across shard counts.
+    pub trace: Vec<u8>,
+}
+
+fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut v = samples.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let idx = ((v.len() as f64 - 1.0) * p).round() as usize;
+    v[idx.min(v.len() - 1)]
+}
+
+/// Serializes every deterministic observable of a finished run, for the
+/// shard-invariance comparison (same exemptions as the determinism
+/// suite: `net.pool_*` counters are shard-local by construction and
+/// `*_wall_us` samples are the sanctioned host-dependent output).
+fn serialize_observables(net: &WhisperNet) -> Vec<u8> {
+    let m = net.sim.metrics();
+    let mut out = Vec::new();
+    for name in m.counter_names().filter(|n| !n.starts_with("net.pool_")) {
+        out.extend_from_slice(name.as_bytes());
+        out.extend_from_slice(&m.counter(name).to_le_bytes());
+    }
+    for name in m.sample_names().filter(|n| !n.ends_with("_wall_us")) {
+        out.extend_from_slice(name.as_bytes());
+        for v in m.samples(name) {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    for (node, traffic) in m.traffic_snapshot() {
+        out.extend_from_slice(&node.0.to_le_bytes());
+        out.extend_from_slice(&traffic.up_msgs.to_le_bytes());
+        out.extend_from_slice(&traffic.down_msgs.to_le_bytes());
+        out.extend_from_slice(&traffic.up_bytes.to_le_bytes());
+        out.extend_from_slice(&traffic.down_bytes.to_le_bytes());
+    }
+    out.extend_from_slice(&net.sim.now().as_micros().to_le_bytes());
+    out
+}
+
+/// Runs the full group-lifecycle scenario. Deterministic in `params`
+/// (including `params.shards`: the trace is byte-identical at any shard
+/// count).
+///
+/// Timeline, in workload rounds:
+/// * round 1 — a **late group** is created and joined while the system
+///   is already under load (create/join under churn);
+/// * the scripted fault window (a partition island *plus* staggered
+///   crash/restarts) opens after `fault_after_round` rounds;
+/// * one round into the window, `max(1, groups/4)` groups are
+///   **deleted** — tombstones must cross the partition and reach
+///   crash-restarted members, and nothing may resurrect;
+/// * the round after that, one member **migrates** from the first group
+///   to the second (removal dot in one, fresh admission in the other).
+pub fn run_group_lifecycle(params: &ChaosParams) -> LifecycleOutcome {
+    let mut builder = NetBuilder::cluster(params.nodes, params.seed);
+    builder.sim = builder.sim.clone().with_shards(params.shards);
+    builder.whisper.wcl.adaptive_rto = params.adaptive_rto;
+    let mut net = builder.build_whisper(|_| Box::new(EchoApp::default()));
+    net.sim.run_for_secs(params.warmup);
+
+    let leaders: Vec<NodeId> = net.publics().into_iter().take(params.groups).collect();
+    assert_eq!(leaders.len(), params.groups, "not enough P-nodes for leaders");
+    let groups = net.create_groups(&leaders, "life");
+    let mut membership = net.subscribe_members(&leaders, &groups, 1, params.seed ^ 0x51);
+    net.sim.run_for_secs(params.settle);
+
+    // Fault plan: two sequential windows. A partition island first (the
+    // deletions happen *inside* it, so tombstones must cross the healed
+    // cut), then staggered crash/restarts two rounds after the heal (the
+    // migration happens inside that one, and restarted members must
+    // rebuild group state from their journals alone).
+    let t0 = net.sim.now().as_micros();
+    let from = SimTime::from_micros(
+        t0 + (params.fault_after_round * params.round_period + params.round_period / 2)
+            * 1_000_000,
+    );
+    let to = SimTime::from_micros(from.as_micros() + params.fault_len * 1_000_000);
+    let crash_from =
+        SimTime::from_micros(to.as_micros() + 2 * params.round_period * 1_000_000);
+    let crash_to =
+        SimTime::from_micros(crash_from.as_micros() + params.fault_len * 1_000_000);
+    let mut rng = StdRng::seed_from_u64(params.seed ^ 0x11FE_C7C1E);
+    let mut protected: Vec<NodeId> = leaders.clone();
+    protected.extend((0..net.builder.bootstraps as u64).map(NodeId));
+    let mut victims: Vec<NodeId> = net
+        .live()
+        .into_iter()
+        .filter(|id| !protected.contains(id))
+        .collect();
+    for i in (1..victims.len()).rev() {
+        victims.swap(i, rng.gen_range(0..=i));
+    }
+    let island: Vec<NodeId> = victims.iter().take(victims.len() / 10).copied().collect();
+    let mut plan = FaultPlan::new().partition(island, from, to);
+    let crashed = (victims.len() / 16).max(1);
+    for (i, &node) in victims.iter().skip(victims.len() / 10).take(crashed).enumerate() {
+        let span = crash_to.as_micros() - crash_from.as_micros();
+        let at = SimTime::from_micros(
+            crash_from.as_micros() + span / 2 * i as u64 / crashed as u64,
+        );
+        plan = plan.crash_restart(node, at, crash_to);
+    }
+    net.sim.install_fault_plan(plan);
+
+    // Lifecycle schedule: deletions inside the partition window,
+    // migration inside the crash window.
+    let late_round = 1u64;
+    let delete_round = params.fault_after_round + 1;
+    let migrate_round =
+        params.fault_after_round + params.fault_len / params.round_period + 3;
+    let delete_count = (groups.len() / 4).max(1).min(groups.len().saturating_sub(2));
+    let doomed: Vec<usize> = (groups.len() - delete_count..groups.len()).collect();
+
+    let mut active: Vec<bool> = vec![true; groups.len()];
+    let mut deleted: Vec<GroupId> = Vec::new();
+    let mut late: Option<(NodeId, GroupId, Vec<NodeId>)> = None;
+    let mut migrant: Option<(NodeId, GroupId)> = None;
+    let mut nonce = 0u64;
+    let mut skipped = 0u64;
+    for round in 0..params.rounds {
+        if round == late_round {
+            // Create + join a fresh group while the workload is running.
+            let leader = leaders[0];
+            let name = "life-late";
+            let mut gid = GroupId::from_name(name);
+            net.sim.with_node_ctx::<WhisperNode>(leader, |node, ctx| {
+                gid = node.create_group(ctx, name);
+            });
+            let invitees: Vec<NodeId> = membership
+                .get(1)
+                .map(|m| m.iter().copied().take(6).collect())
+                .unwrap_or_default();
+            for &m in &invitees {
+                net.join(leader, gid, m);
+            }
+            late = Some((leader, gid, invitees));
+        }
+        if round == delete_round {
+            for &gi in &doomed {
+                let leader = leaders[gi];
+                let group = groups[gi];
+                net.sim.with_node_ctx::<WhisperNode>(leader, |node, ctx| {
+                    assert!(node.delete_group(ctx, group), "leader deletes its group");
+                });
+                active[gi] = false;
+                deleted.push(group);
+            }
+        }
+        if round == migrate_round {
+            // Move one member from group 0 to group 1: a removal dot in
+            // one OR-set, a fresh admission dot in the other.
+            let candidate = membership.first().and_then(|m| {
+                m.iter()
+                    .copied()
+                    .find(|id| net.sim.contains(*id) && !net.sim.is_down(*id))
+            });
+            if let (Some(x), true) = (candidate, groups.len() >= 2) {
+                net.sim.with_node_ctx::<WhisperNode>(leaders[0], |node, _| {
+                    node.remove_member(groups[0], x);
+                });
+                if net.join(leaders[1], groups[1], x) {
+                    migrant = Some((x, groups[1]));
+                }
+                if let Some(m) = membership.first_mut() {
+                    m.retain(|id| *id != x);
+                }
+            }
+        }
+        for (gi, members) in membership.iter().enumerate() {
+            if !active[gi] || members.len() < 2 {
+                continue;
+            }
+            for _ in 0..params.pairs_per_round {
+                let src = members[rng.gen_range(0..members.len())];
+                nonce += 1;
+                if !send_request(&mut net, groups[gi], src, nonce, &mut rng) {
+                    skipped += 1;
+                }
+            }
+        }
+        // The late group joins the workload once formed.
+        if let Some((_, gid, invitees)) = &late {
+            if invitees.len() >= 2 {
+                for _ in 0..params.pairs_per_round.min(2) {
+                    let src = invitees[rng.gen_range(0..invitees.len())];
+                    nonce += 1;
+                    if !send_request(&mut net, *gid, src, nonce, &mut rng) {
+                        skipped += 1;
+                    }
+                }
+            }
+        }
+        net.sim.run_for_secs(params.round_period);
+    }
+    net.sim.run_for_secs(params.heal_wait);
+
+    let echo = collect(&net, skipped);
+    let resurrections = net
+        .live()
+        .into_iter()
+        .map(|id| {
+            let node = net.sim.node::<WhisperNode>(id).expect("live");
+            deleted
+                .iter()
+                .filter(|g| node.ppss().group(**g).is_some())
+                .count()
+        })
+        .sum();
+    let late_members = late
+        .as_ref()
+        .map(|(_, gid, _)| net.member_count(*gid))
+        .unwrap_or(0);
+    let migrated_ok = migrant
+        .map(|(x, g)| {
+            net.sim
+                .node::<WhisperNode>(x)
+                .is_some_and(|n| n.ppss().group(g).is_some())
+        })
+        .unwrap_or(false);
+    let m = net.sim.metrics();
+    let prop = m.samples("ppss.desc_prop_s");
+    LifecycleOutcome {
+        deleted,
+        resurrections,
+        desc_prop_samples: prop.len(),
+        desc_prop_p95_s: percentile(prop, 0.95),
+        late_members,
+        migrated_ok,
+        journal_replays: m.counter("ppss.journal_replayed"),
+        journal_restored: m.counter("ppss.journal_groups_restored"),
+        replay_wall_us_mean: {
+            let s = m.samples("ppss.journal_replay_wall_us");
+            if s.is_empty() { 0.0 } else { s.iter().sum::<f64>() / s.len() as f64 }
+        },
+        trace: serialize_observables(&net),
+        echo,
     }
 }

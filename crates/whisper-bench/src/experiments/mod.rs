@@ -9,6 +9,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod lifecycle;
 pub mod scaling;
 pub mod table1;
 pub mod table2;

@@ -158,6 +158,21 @@ pub trait GroupApp: Send + 'static {
     /// fired.
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, api: &mut WhisperApi<'_>, token: u64) {}
 
+    /// The node crashed and restarted with full loss of volatile state.
+    ///
+    /// Apps MUST drop all in-flight bookkeeping here: pending requests
+    /// reference WCL message ids that no longer exist after the restart,
+    /// so keeping them leaks state that can never resolve (or worse,
+    /// resolves against a recycled id). Durable application data may be
+    /// kept — the PPSS group journal defines what "durable" means for
+    /// the stack itself.
+    fn on_crash_restart(&mut self, ctx: &mut Ctx<'_>, api: &mut WhisperApi<'_>) {}
+
+    /// A verified deletion tombstone destroyed `group`: its state is
+    /// gone and it can never come back. Apps drop whatever they keyed on
+    /// the group.
+    fn on_group_deleted(&mut self, ctx: &mut Ctx<'_>, api: &mut WhisperApi<'_>, group: GroupId) {}
+
     /// Downcasting support so harnesses can inspect application state.
     fn as_any(&self) -> &dyn std::any::Any;
 
@@ -228,6 +243,11 @@ impl WhisperNode {
         &self.ppss
     }
 
+    /// Mutable PPSS access (journal fault injection in tests).
+    pub fn ppss_mut(&mut self) -> &mut Ppss {
+        &mut self.ppss
+    }
+
     /// The WCL layer.
     pub fn wcl(&self) -> &Wcl {
         &self.wcl
@@ -257,6 +277,22 @@ impl WhisperNode {
         self.ppss.join_group(ctx, &mut self.nylon, &mut self.wcl, invitation);
     }
 
+    /// Deletes `group` (leader operation): publishes the deletion
+    /// tombstone and destroys local state. Returns `false` when this
+    /// node is not a leader of the group.
+    pub fn delete_group(&mut self, ctx: &mut Ctx<'_>, group: GroupId) -> bool {
+        let Some(events) = self.ppss.delete_group(ctx, &mut self.nylon, group) else {
+            return false;
+        };
+        self.dispatch_ppss_events(ctx, events);
+        true
+    }
+
+    /// Revokes `member`'s admission dots (leader operation).
+    pub fn remove_member(&mut self, group: GroupId, member: NodeId) -> bool {
+        self.ppss.remove_member(group, member)
+    }
+
     /// Runs `f` with mutable API access (harness entry point for driving
     /// applications).
     pub fn with_api<R>(
@@ -284,6 +320,9 @@ impl WhisperNode {
                 PpssEvent::BecameLeader { group, .. } => {
                     app.on_view_updated(ctx, &mut api, group)
                 }
+                PpssEvent::GroupDeleted { group } => {
+                    app.on_group_deleted(ctx, &mut api, group)
+                }
             }
         }
     }
@@ -300,12 +339,17 @@ impl Protocol for WhisperNode {
 
     fn on_crash_restart(&mut self, ctx: &mut Ctx<'_>) {
         // Volatile state is gone: WCL pending sends, routes and circuits,
-        // the Nylon view and NAT session state. Group membership and the
-        // bootstrap list survive (on-disk configuration), so the node
-        // re-converges through its deferred gossip and PPSS cycle timers.
+        // the Nylon view, NAT session state and the relay descriptor
+        // store. The PPSS rebuilds its group table exclusively from a
+        // replay of its journal (the node's "disk"); the bootstrap list
+        // survives as on-disk configuration, so the node re-converges
+        // through its deferred gossip and PPSS cycle timers.
         self.wcl.on_restart(ctx);
         self.nylon.on_restart(ctx);
-        self.ppss.on_restart();
+        self.ppss.on_restart(ctx);
+        let WhisperNode { nylon, wcl, ppss, app } = self;
+        let mut api = WhisperApi { nylon, wcl, ppss };
+        app.on_crash_restart(ctx, &mut api);
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, from_ep: Endpoint, data: &Payload) {
@@ -328,6 +372,10 @@ impl Protocol for WhisperNode {
                     }
                 }
                 NylonEvent::GossipCompleted { .. } => {}
+                NylonEvent::Descriptor { bytes, .. } => {
+                    let events = self.ppss.on_descriptor(ctx, &bytes);
+                    self.dispatch_ppss_events(ctx, events);
+                }
             }
         }
     }

@@ -18,32 +18,45 @@ use whisper_net::NodeId;
 
 /// Identifier of a private group (derived from its name; the name itself
 /// never travels on the wire).
+///
+/// 128 bits of a domain-separated SHA-256 — wide enough that two distinct
+/// group names colliding on one id requires ~2^64 *deliberately chosen*
+/// names (birthday bound), versus ~2^32 for the 64-bit id this replaced.
+/// The domain prefix keeps the digest distinct from every other use of
+/// `Sha256(name)` in the stack, so no other subsystem's hash of the same
+/// string can alias a group id.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct GroupId(pub u64);
+pub struct GroupId(pub u128);
 
 impl std::fmt::Debug for GroupId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "g{:016x}", self.0)
+        write!(f, "g{:032x}", self.0)
     }
 }
 
 impl GroupId {
     /// Derives the identifier from a human-readable group name.
     pub fn from_name(name: &str) -> GroupId {
-        let digest = Sha256::digest(name.as_bytes());
-        GroupId(u64::from_be_bytes(digest[..8].try_into().expect("8 bytes")))
+        let mut m = b"whisper-group-v1".to_vec();
+        m.extend_from_slice(name.as_bytes());
+        let digest = Sha256::digest(&m);
+        GroupId(u128::from_be_bytes(digest[..16].try_into().expect("16 bytes")))
     }
 }
 
 impl WireEncode for GroupId {
     fn encode(&self, w: &mut WireWriter) {
-        w.put_u64(self.0);
+        // The codec has no native u128; split into two big-endian u64s.
+        w.put_u64((self.0 >> 64) as u64);
+        w.put_u64(self.0 as u64);
     }
 }
 
 impl WireDecode for GroupId {
     fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
-        Ok(GroupId(r.take_u64()?))
+        let hi = r.take_u64()?;
+        let lo = r.take_u64()?;
+        Ok(GroupId(((hi as u128) << 64) | lo as u128))
     }
 }
 
@@ -148,6 +161,35 @@ mod tests {
     }
 
     #[test]
+    fn group_id_is_domain_separated_from_bare_hashes() {
+        // The id must not equal the truncated bare SHA-256 of the name —
+        // otherwise any subsystem hashing the same string produces ids
+        // that alias groups.
+        let bare = Sha256::digest(b"alpha");
+        let bare_id = u128::from_be_bytes(bare[..16].try_into().unwrap());
+        assert_ne!(GroupId::from_name("alpha").0, bare_id);
+    }
+
+    #[test]
+    fn group_id_uses_full_128_bits() {
+        // Both halves of the id must vary with the name; a regression to
+        // a 64-bit hash (upper half constant) would reopen the collision
+        // exposure this widening fixed.
+        let ids: Vec<GroupId> = ["a", "b", "c", "d"].iter().map(|n| GroupId::from_name(n)).collect();
+        let hi: std::collections::BTreeSet<u64> = ids.iter().map(|g| (g.0 >> 64) as u64).collect();
+        let lo: std::collections::BTreeSet<u64> = ids.iter().map(|g| g.0 as u64).collect();
+        assert_eq!(hi.len(), ids.len(), "upper 64 bits must vary");
+        assert_eq!(lo.len(), ids.len(), "lower 64 bits must vary");
+    }
+
+    #[test]
+    fn group_id_wire_round_trip() {
+        let g = GroupId::from_name("round-trip");
+        assert_eq!(GroupId::from_wire(&g.to_wire()).unwrap(), g);
+        assert_eq!(g.to_wire().len(), 16);
+    }
+
+    #[test]
     fn passport_round_trip_and_verification() {
         let gk = group_key();
         let g = GroupId::from_name("chat");
@@ -189,6 +231,57 @@ mod tests {
         assert!(verify_accreditation(&acc, g, NodeId(9), &[gk.public().clone()]));
         assert!(!verify_accreditation(&acc, g, NodeId(10), &[gk.public().clone()]));
         assert!(!verify_accreditation(b"junk", g, NodeId(9), &[gk.public().clone()]));
+    }
+
+    #[test]
+    fn credentials_survive_multiple_key_rotations() {
+        // Three leadership generations: credentials issued under any of
+        // them must verify against the accumulated history — a member
+        // that joined in epoch 0 stays a member through every election.
+        let g = GroupId::from_name("chat");
+        let generations: Vec<KeyPair> = (0..3)
+            .map(|i| KeyPair::generate(RsaKeySize::Sim384, &mut StdRng::seed_from_u64(40 + i)))
+            .collect();
+        let history: Vec<_> = generations.iter().map(|k| k.public().clone()).collect();
+        for (i, gk) in generations.iter().enumerate() {
+            let p = Passport::issue(gk, g, NodeId(i as u64));
+            assert!(p.verify(g, &history), "generation {i} passport verifies");
+            let acc = issue_accreditation(gk, g, NodeId(i as u64));
+            assert!(
+                verify_accreditation(&acc, g, NodeId(i as u64), &history),
+                "generation {i} accreditation verifies"
+            );
+            // Prefixes of the history that predate the signer reject it:
+            // a credential cannot be older than its own key.
+            assert!(
+                !p.verify(g, &history[..i]),
+                "generation {i} passport must not verify under earlier keys only"
+            );
+        }
+    }
+
+    #[test]
+    fn revoked_keys_fail_closed() {
+        // A compromised generation gets struck from the history; every
+        // credential it issued dies with it, while the surviving
+        // generations' credentials stay valid.
+        let g = GroupId::from_name("chat");
+        let honest = group_key();
+        let compromised = KeyPair::generate(RsaKeySize::Sim384, &mut StdRng::seed_from_u64(66));
+        let full = vec![honest.public().clone(), compromised.public().clone()];
+        let revoked = vec![honest.public().clone()];
+
+        let p_bad = Passport::issue(&compromised, g, NodeId(7));
+        let acc_bad = issue_accreditation(&compromised, g, NodeId(7));
+        assert!(p_bad.verify(g, &full), "valid before revocation");
+        assert!(!p_bad.verify(g, &revoked), "passport dies with its key");
+        assert!(
+            !verify_accreditation(&acc_bad, g, NodeId(7), &revoked),
+            "accreditation dies with its key"
+        );
+        let p_good = Passport::issue(&honest, g, NodeId(8));
+        assert!(p_good.verify(g, &revoked), "honest credentials survive");
+        assert!(!p_bad.verify(g, &[]), "empty history rejects everything");
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! PPSS wire messages. All of them travel *inside* WCL onion payloads:
 //! relays and observers only ever see ciphertext.
 
+use crate::ppss::descriptor::MemberDot;
 use crate::ppss::group::{GroupId, Passport};
 use crate::wcl::{DestInfo, GatewayInfo};
 use whisper_crypto::rsa::PublicKey;
@@ -203,7 +204,10 @@ pub enum PpssMsg {
         /// Sender's passport.
         passport: Passport,
         /// Sender's fresh entry (also the reply address for requests).
-        from_entry: PrivateEntry,
+        /// Boxed to keep the enum's in-memory footprint close to the
+        /// other variants (clippy: `large_enum_variant`); the wire
+        /// format is unchanged.
+        from_entry: Box<PrivateEntry>,
         /// Shipped view subset.
         entries: Vec<PrivateEntry>,
         /// Correlates responses with requests (the requester's WCL
@@ -217,6 +221,14 @@ pub enum PpssMsg {
         election: Option<ElectionBallot>,
         /// Latest group-key change announcement, if any.
         new_key: Option<NewKeyAnnouncement>,
+        /// Membership anti-entropy: the sender's most recent admission
+        /// dots (capped). Descriptors only carry bounded deltas, so
+        /// member-to-member exchanges are what guarantees the OR-set
+        /// converges — a late joiner learns old admissions from the
+        /// peers it gossips with, not from the (latest-only) descriptor.
+        member_adds: Vec<MemberDot>,
+        /// The sender's most recent removal dots (capped).
+        member_removes: Vec<MemberDot>,
     },
     /// Application payload between group members.
     AppData {
@@ -276,17 +288,21 @@ impl WireEncode for PpssMsg {
                 hb,
                 election,
                 new_key,
+                member_adds,
+                member_removes,
             } => {
                 w.put_u8(TAG_EXCHANGE);
                 w.put(group);
                 w.put(passport);
-                w.put(from_entry);
+                w.put(from_entry.as_ref());
                 w.put_seq(entries);
                 w.put_u64(*exchange_id);
                 w.put(is_response);
                 w.put(hb);
                 w.put_opt(election);
                 w.put_opt(new_key);
+                w.put_seq(member_adds);
+                w.put_seq(member_removes);
             }
             PpssMsg::AppData { group, passport, data, reply_entry } => {
                 w.put_u8(TAG_APP_DATA);
@@ -323,13 +339,15 @@ impl WireDecode for PpssMsg {
             TAG_EXCHANGE => PpssMsg::Exchange {
                 group: r.take()?,
                 passport: r.take()?,
-                from_entry: r.take()?,
+                from_entry: Box::new(r.take()?),
                 entries: r.take_seq()?,
                 exchange_id: r.take_u64()?,
                 is_response: r.take()?,
                 hb: r.take()?,
                 election: r.take_opt()?,
                 new_key: r.take_opt()?,
+                member_adds: r.take_seq()?,
+                member_removes: r.take_seq()?,
             },
             TAG_APP_DATA => PpssMsg::AppData {
                 group: r.take()?,
@@ -402,7 +420,7 @@ mod tests {
         round_trip(PpssMsg::Exchange {
             group: GroupId(7),
             passport: passport.clone(),
-            from_entry: entry(1),
+            from_entry: Box::new(entry(1)),
             entries: vec![entry(4)],
             exchange_id: 99,
             is_response: true,
@@ -414,6 +432,8 @@ mod tests {
                 key: vec![7; 10],
             }),
             new_key: None,
+            member_adds: vec![MemberDot { node: NodeId(4), epoch: 1, counter: 2 }],
+            member_removes: vec![],
         });
         round_trip(PpssMsg::AppData {
             group: GroupId(7),

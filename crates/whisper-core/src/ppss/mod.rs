@@ -7,20 +7,24 @@
 //! path refreshes — travels through WCL onion routes, so neither content
 //! nor the fact that two members talk is visible to outsiders.
 
+pub mod descriptor;
 pub mod election;
 pub mod group;
+pub mod journal;
 pub mod messages;
 
 use crate::wcl::{GatewayInfo, Wcl};
+use descriptor::{GroupDescriptor, MemberDot, Membership, DELTA_DOTS};
 use election::{ElectionOutcome, LeaderTracker};
 use group::{issue_accreditation, verify_accreditation, GroupId, Invitation, Passport};
+use journal::Journal;
 pub use messages::PrivateEntry;
 use messages::{ElectionBallot, Heartbeat, NewKeyAnnouncement, PpssMsg};
 use whisper_rand::Rng;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use whisper_crypto::rsa::{KeyPair, PublicKey};
 use whisper_net::sim::Ctx;
-use whisper_net::wire::{WireDecode, WireEncode};
+use whisper_net::wire::{WireDecode, WireEncode, WireError, WireReader, WireWriter};
 use whisper_net::{NodeId, SimDuration};
 use whisper_pss::NylonCore;
 
@@ -125,6 +129,13 @@ pub enum PpssEvent {
         /// The new leadership epoch.
         epoch: u64,
     },
+    /// A verified deletion descriptor arrived (or this node deleted the
+    /// group locally): all group state is gone, and the tombstone makes
+    /// re-joining or re-creating the group impossible forever.
+    GroupDeleted {
+        /// The deleted group.
+        group: GroupId,
+    },
 }
 
 /// State of one group membership.
@@ -146,6 +157,16 @@ pub struct GroupState {
     outstanding: Option<(NodeId, u64)>,
     /// Latest verified key announcement, piggybacked for dissemination.
     latest_announcement: Option<NewKeyAnnouncement>,
+    /// Accumulated membership OR-set, grown from descriptor deltas.
+    membership: Membership,
+    /// Latest verified descriptor under the epoch-dominated LWW order.
+    latest_descriptor: Option<GroupDescriptor>,
+    /// Publish sequence of the last descriptor this node signed.
+    desc_seq: u64,
+    /// Next admission counter (leaders; makes membership dots unique).
+    next_dot: u64,
+    /// Durable state changed since the last descriptor publish (leader).
+    dirty: bool,
 }
 
 impl GroupState {
@@ -174,6 +195,17 @@ impl GroupState {
         self.tracker.epoch
     }
 
+    /// The accumulated membership OR-set.
+    pub fn membership(&self) -> &Membership {
+        &self.membership
+    }
+
+    /// The latest verified group descriptor, if any arrived or was
+    /// published yet.
+    pub fn latest_descriptor(&self) -> Option<&GroupDescriptor> {
+        self.latest_descriptor.as_ref()
+    }
+
     fn current_key(&self) -> &PublicKey {
         self.key_history.last().expect("non-empty history")
     }
@@ -197,6 +229,107 @@ impl GroupState {
     }
 }
 
+impl GroupState {
+    /// A freshly initialised group state (no descriptor seen yet).
+    fn fresh(
+        key_history: Vec<PublicKey>,
+        leader_key: Option<KeyPair>,
+        passport: Passport,
+        tracker: LeaderTracker,
+    ) -> GroupState {
+        GroupState {
+            key_history,
+            leader_key,
+            passport,
+            view: Vec::new(),
+            pcp: HashMap::new(),
+            tracker,
+            outstanding: None,
+            latest_announcement: None,
+            membership: Membership::new(),
+            latest_descriptor: None,
+            desc_seq: 0,
+            next_dot: 0,
+            dirty: false,
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// Journal records
+// --------------------------------------------------------------------
+
+/// Journal size that triggers a compaction (rewrite as one snapshot per
+/// group). Snapshots are a few hundred bytes, so this keeps the "disk"
+/// a handful of records deep without compacting on every append.
+const JOURNAL_COMPACT_BYTES: usize = 128 * 1024;
+
+/// Admission/removal dots piggybacked on each member-to-member exchange.
+/// Descriptors carry only [`DELTA_DOTS`]-sized deltas, so these pairwise
+/// merges are what make the membership OR-set converge: a late joiner
+/// learns old admissions from the members it gossips with. The cap keeps
+/// exchanges bounded; groups larger than this still converge, just over
+/// more cycles (each exchange ships the newest dots, older ones arrive
+/// transitively from peers that already hold them).
+const EXCHANGE_DOTS: usize = 64;
+
+/// Record tag: a full durable snapshot of one group.
+const REC_GROUP: u8 = 1;
+/// Record tag: the group was deleted; sticky forever.
+const REC_TOMBSTONE: u8 = 2;
+/// Record tag: a join handshake was started from an invitation.
+const REC_PENDING: u8 = 3;
+
+/// Serializes the durable slice of one group's state: everything a node
+/// must still know after losing RAM — keys, passport, epoch, membership
+/// dots, the latest descriptor and a contact cache to re-bootstrap the
+/// private view from. Volatile state (in-flight exchanges, the PCP
+/// freshness, announcements) is deliberately absent.
+fn encode_group_record(group: GroupId, state: &GroupState) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.put_u8(REC_GROUP);
+    w.put(&group);
+    let keys: Vec<Vec<u8>> = state.key_history.iter().map(|k| k.to_bytes()).collect();
+    w.put_seq(&keys);
+    w.put_opt(&state.leader_key.as_ref().map(|k| k.to_bytes()));
+    w.put(&state.passport);
+    w.put_u64(state.tracker.epoch);
+    w.put_u64(state.desc_seq);
+    w.put_u64(state.next_dot);
+    w.put_opt(&state.latest_descriptor);
+    let (adds, removes) = state.membership.dots();
+    w.put_seq(&adds);
+    w.put_seq(&removes);
+    // Contact cache: the private view plus PCP at checkpoint time,
+    // sorted so the record bytes are independent of HashMap order.
+    let mut contacts: Vec<PrivateEntry> = state.view.clone();
+    for e in state.pcp.values() {
+        if !contacts.iter().any(|c| c.node == e.node) {
+            contacts.push(e.clone());
+        }
+    }
+    contacts.sort_by_key(|e| e.node);
+    w.put_seq(&contacts);
+    w.into_bytes()
+}
+
+fn encode_tombstone_record(group: GroupId) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.put_u8(REC_TOMBSTONE);
+    w.put(&group);
+    w.into_bytes()
+}
+
+fn encode_pending_record(group: GroupId, invitation: &Invitation) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.put_u8(REC_PENDING);
+    w.put(&group);
+    w.put_bytes(&invitation.group_key.to_bytes());
+    w.put_bytes(&invitation.accreditation);
+    w.put(&invitation.entry_point);
+    w.into_bytes()
+}
+
 /// A pending join: retried every cycle until the ack arrives.
 struct PendingJoin {
     invitation: Invitation,
@@ -210,6 +343,13 @@ pub struct Ppss {
     pending_joins: HashMap<GroupId, PendingJoin>,
     started: bool,
     cycles_run: u64,
+    /// The node's "disk": every durable group change is appended here,
+    /// and [`Ppss::on_restart`] rebuilds the group table *only* from a
+    /// replay of it.
+    journal: Journal,
+    /// Groups whose deletion this node has verified. Sticky: nothing in
+    /// here can ever be joined, re-created or gossiped about again.
+    deleted: BTreeSet<GroupId>,
 }
 
 impl std::fmt::Debug for Ppss {
@@ -227,6 +367,8 @@ impl Ppss {
             pending_joins: HashMap::new(),
             started: false,
             cycles_run: 0,
+            journal: Journal::new(),
+            deleted: BTreeSet::new(),
         }
     }
 
@@ -250,6 +392,22 @@ impl Ppss {
     /// The state of `group`, if this node is a member.
     pub fn group(&self, group: GroupId) -> Option<&GroupState> {
         self.groups.get(&group)
+    }
+
+    /// The group journal (the node's durable "disk").
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    /// Mutable journal access — exists so fault-injection tests can
+    /// truncate tails and flip bits the way real storage does.
+    pub fn journal_mut(&mut self) -> &mut Journal {
+        &mut self.journal
+    }
+
+    /// Whether this node has verified the deletion of `group`.
+    pub fn is_deleted(&self, group: GroupId) -> bool {
+        self.deleted.contains(&group)
     }
 
     /// Must be called once at node start: arms the cycle timers.
@@ -298,27 +456,27 @@ impl Ppss {
     /// # Panics
     ///
     /// Panics if the node already belongs to a group with this name.
+    /// # Panics
+    ///
+    /// Also panics if a group with this name was deleted: the tombstone
+    /// is sticky, so the name can never be reused (resurrection is
+    /// impossible by construction).
     pub fn create_group(&mut self, ctx: &mut Ctx<'_>, nylon: &NylonCore, name: &str) -> GroupId {
         let id = GroupId::from_name(name);
         assert!(!self.groups.contains_key(&id), "already a member of {name:?}");
+        assert!(!self.deleted.contains(&id), "group {name:?} was deleted; tombstones are forever");
         let group_key = KeyPair::generate(nylon.config().rsa, ctx.rng());
         let passport = Passport::issue(&group_key, id, nylon.id());
         let mut tracker = LeaderTracker::new();
         tracker.beat();
-        self.groups.insert(
-            id,
-            GroupState {
-                key_history: vec![group_key.public().clone()],
-                leader_key: Some(group_key),
-                passport,
-                view: Vec::new(),
-                pcp: HashMap::new(),
-                tracker,
-                outstanding: None,
-                latest_announcement: None,
-            },
-        );
+        let mut state =
+            GroupState::fresh(vec![group_key.public().clone()], Some(group_key), passport, tracker);
+        state.membership.add(MemberDot { node: nylon.id(), epoch: 0, counter: 0 });
+        state.next_dot = 1;
+        state.dirty = true;
+        self.groups.insert(id, state);
         ctx.metrics().count("ppss.groups_created", 1);
+        self.journal_group(id);
         id
     }
 
@@ -355,6 +513,12 @@ impl Ppss {
         if self.groups.contains_key(&group) {
             return;
         }
+        if self.deleted.contains(&group) {
+            // The invitation outlived the group; the tombstone wins.
+            ctx.metrics().count("ppss.resurrection_blocked", 1);
+            return;
+        }
+        self.journal.append(&encode_pending_record(group, &invitation));
         self.pending_joins
             .insert(group, PendingJoin { invitation, msg_id: None });
         self.try_pending_join(ctx, nylon, wcl, group);
@@ -396,6 +560,66 @@ impl Ppss {
             return false;
         };
         state.pcp.insert(node, entry);
+        true
+    }
+
+    /// Deletes `group` (leader operation): publishes a signed deletion
+    /// tombstone into the relay-level descriptor store, journals the
+    /// tombstone, and drops all local group state. Returns the events to
+    /// dispatch, or `None` if this node is not a leader of the group.
+    ///
+    /// Deletion is permanent by construction: the tombstone descriptor
+    /// pins the relay LWW maximum (no stale descriptor can displace it),
+    /// every member that verifies it destroys its state the same way,
+    /// and the local tombstone set blocks joins and re-creation forever.
+    pub fn delete_group(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        nylon: &mut NylonCore,
+        group: GroupId,
+    ) -> Option<Vec<PpssEvent>> {
+        let state = self.groups.get_mut(&group)?;
+        let leader_key = state.leader_key.as_ref()?;
+        state.desc_seq += 1;
+        let tomb = GroupDescriptor::sign(
+            leader_key,
+            group,
+            state.tracker.epoch,
+            state.desc_seq,
+            &state.key_history,
+            true,
+            Vec::new(),
+            Vec::new(),
+            ctx.now().as_micros(),
+        );
+        nylon.publish_descriptor(group.0, tomb.version(), &tomb.to_wire());
+        self.groups.remove(&group);
+        self.pending_joins.remove(&group);
+        self.deleted.insert(group);
+        self.journal.append(&encode_tombstone_record(group));
+        ctx.metrics().count("ppss.groups_deleted", 1);
+        Some(vec![PpssEvent::GroupDeleted { group }])
+    }
+
+    /// Revokes `node`'s membership (leader operation): tombstones its
+    /// admission dots in the OR-set — the revocation travels in the next
+    /// published descriptor — and drops it from the view and PCP.
+    /// Returns `false` when not a leader or `node` had no live dots.
+    pub fn remove_member(&mut self, group: GroupId, node: NodeId) -> bool {
+        let Some(state) = self.groups.get_mut(&group) else {
+            return false;
+        };
+        if state.leader_key.is_none() {
+            return false;
+        }
+        let revoked = state.membership.remove(node);
+        if revoked.is_empty() {
+            return false;
+        }
+        state.view.retain(|e| e.node != node);
+        state.pcp.remove(&node);
+        state.dirty = true;
+        self.journal_group(group);
         true
     }
 
@@ -506,6 +730,7 @@ impl Ppss {
         wcl: &mut Wcl,
     ) -> Vec<PpssEvent> {
         let mut events = Vec::new();
+        let mut to_journal: Vec<GroupId> = Vec::new();
         self.cycles_run += 1;
         ctx.set_timer(self.cfg.cycle, TIMER_PPSS_CYCLE);
         // Retry pending joins.
@@ -549,11 +774,45 @@ impl Ppss {
                         // passport — and with it, the announcement itself.
                         state.leader_key = Some(new_key);
                         state.latest_announcement = Some(ann);
+                        state.dirty = true;
+                        to_journal.push(group);
                         ctx.metrics().count("ppss.elections_won", 1);
                         events.push(PpssEvent::BecameLeader { group, epoch });
                     }
                     ElectionOutcome::Idle => {}
                 }
+            }
+            // Leaders publish a fresh signed descriptor whenever durable
+            // state changed (admissions, revocations, epoch/key changes)
+            // — and once at group birth so even an unchanged group has a
+            // descriptor circulating.
+            if state.is_leader() && (state.dirty || state.latest_descriptor.is_none()) {
+                state.desc_seq += 1;
+                let (adds, removes) = state.membership.recent_dots(DELTA_DOTS);
+                let key = state.leader_key.as_ref().expect("leader");
+                let desc = GroupDescriptor::sign(
+                    key,
+                    group,
+                    state.tracker.epoch,
+                    state.desc_seq,
+                    &state.key_history,
+                    false,
+                    adds,
+                    removes,
+                    ctx.now().as_micros(),
+                );
+                state.latest_descriptor = Some(desc);
+                state.dirty = false;
+                ctx.metrics().count("ppss.desc_published", 1);
+                to_journal.push(group);
+            }
+            // Every member re-offers its latest verified descriptor to
+            // the relay store each cycle. The store itself is volatile
+            // (a restarted relay loses it), so the members are the
+            // durable root the deterministic anti-entropy repair grows
+            // back from.
+            if let Some(desc) = &state.latest_descriptor {
+                nylon.publish_descriptor(group.0, desc.version(), &desc.to_wire());
             }
             // Age the private view and gossip with its oldest member.
             for e in &mut state.view {
@@ -568,17 +827,20 @@ impl Ppss {
                 continue;
             };
             let buffer = Self::build_buffer(state, &my_entry, partner.node, cfg.gossip_len, ctx);
+            let (member_adds, member_removes) = state.membership.recent_dots(EXCHANGE_DOTS);
             let msg_id = wcl.alloc_msg_id();
             let msg = PpssMsg::Exchange {
                 group,
                 passport: state.passport.clone(),
-                from_entry: my_entry.clone(),
+                from_entry: Box::new(my_entry.clone()),
                 entries: buffer,
                 exchange_id: msg_id,
                 is_response: false,
                 hb: state.tracker.heartbeat(),
                 election: state.tracker.ballot(),
                 new_key: state.latest_announcement.clone(),
+                member_adds,
+                member_removes,
             };
             state.outstanding = Some((partner.node, msg_id));
             ctx.metrics().count("ppss.exchanges_initiated", 1);
@@ -591,6 +853,17 @@ impl Ppss {
                 state.pcp.remove(&partner.node);
                 events.push(PpssEvent::MemberUnreachable { group, node: partner.node });
             }
+        }
+        // Periodic checkpoint: refresh every group's journaled contact
+        // cache so a crash long after the last membership change still
+        // restarts with recent neighbours.
+        if self.cycles_run.is_multiple_of(8) {
+            to_journal.extend(self.group_ids());
+        }
+        to_journal.sort_unstable();
+        to_journal.dedup();
+        for group in to_journal {
+            self.journal_group(group);
         }
         events
     }
@@ -618,21 +891,165 @@ impl Ppss {
         }
     }
 
-    /// Clears in-flight exchange state after a crash-restart.
+    /// Rebuilds group state after a crash-restart — **only** from a
+    /// journal replay.
     ///
-    /// Group membership, passports and private views are modeled as
-    /// durable (the node's on-disk configuration); only the per-cycle
-    /// `outstanding` trackers and pending-join message ids are volatile.
-    /// The WCL drops its pending table on restart, so any msg ids still
-    /// referenced here would never resolve — resetting them lets the next
-    /// PPSS cycle retry from scratch.
-    pub fn on_restart(&mut self) {
-        for state in self.groups.values_mut() {
-            state.outstanding = None;
+    /// The in-memory group table is discarded wholesale: anything that
+    /// was never journaled is lost, exactly like a process that forgot
+    /// to fsync. The journal replay salvages the longest valid prefix of
+    /// the "disk" (see [`journal::Journal::replay`]); a truncated tail
+    /// or corrupt record is attributed to `ppss.journal_truncated` /
+    /// `ppss.journal_corrupt` and everything after it is dropped.
+    /// Restored groups come back with their keys, passport, epoch,
+    /// membership dots, latest descriptor and a journaled contact cache
+    /// as the private view; all in-flight state (outstanding exchanges,
+    /// the PCP, pending announcements) is volatile and starts empty.
+    pub fn on_restart(&mut self, ctx: &mut Ctx<'_>) {
+        let replay_started = std::time::Instant::now();
+        let recovery = self.journal.replay();
+        if recovery.truncated > 0 {
+            ctx.metrics().count("ppss.journal_truncated", recovery.truncated);
         }
-        for pending in self.pending_joins.values_mut() {
-            pending.msg_id = None;
+        if recovery.corrupt > 0 {
+            ctx.metrics().count("ppss.journal_corrupt", recovery.corrupt);
         }
+        ctx.metrics().count("ppss.journal_replayed", recovery.records.len() as u64);
+        self.groups.clear();
+        self.pending_joins.clear();
+        self.deleted.clear();
+        for record in &recovery.records {
+            if self.apply_record(record).is_err() {
+                // A checksummed record that fails to parse means an
+                // encoding bug, not storage damage — count it loudly.
+                ctx.metrics().count("ppss.journal_bad_record", 1);
+            }
+        }
+        ctx.metrics()
+            .count("ppss.journal_groups_restored", self.groups.len() as u64);
+        // Rewrite the salvaged state as a clean journal: the damaged
+        // tail is gone for good, and the next crash replays from
+        // exactly what this restart reconstructed.
+        self.compact_journal();
+        // Wall-clock recovery time; like the `wcl.*_wall_us` family it
+        // is host-dependent and excluded from determinism traces.
+        ctx.metrics().sample(
+            "ppss.journal_replay_wall_us",
+            replay_started.elapsed().as_nanos() as f64 / 1000.0,
+        );
+    }
+
+    /// Folds one journaled record into the group table (replay order
+    /// matters: later records win, tombstones win over everything).
+    fn apply_record(&mut self, record: &[u8]) -> Result<(), WireError> {
+        let mut r = WireReader::new(record);
+        match r.take_u8()? {
+            REC_GROUP => {
+                let group: GroupId = r.take()?;
+                let keys: Vec<Vec<u8>> = r.take_seq()?;
+                let leader_bytes: Option<Vec<u8>> = r.take_opt()?;
+                let passport: Passport = r.take()?;
+                let epoch = r.take_u64()?;
+                let desc_seq = r.take_u64()?;
+                let next_dot = r.take_u64()?;
+                let latest_descriptor: Option<GroupDescriptor> = r.take_opt()?;
+                let adds: Vec<MemberDot> = r.take_seq()?;
+                let removes: Vec<MemberDot> = r.take_seq()?;
+                let contacts: Vec<PrivateEntry> = r.take_seq()?;
+                r.finish()?;
+                if self.deleted.contains(&group) {
+                    return Ok(()); // a tombstone never un-deletes
+                }
+                let key_history: Vec<PublicKey> =
+                    keys.iter().filter_map(|b| PublicKey::from_bytes(b)).collect();
+                if key_history.len() != keys.len() {
+                    return Err(WireError::new("journaled group key"));
+                }
+                let leader_key = match leader_bytes {
+                    Some(b) => {
+                        Some(KeyPair::from_bytes(&b).ok_or(WireError::new("journaled key pair"))?)
+                    }
+                    None => None,
+                };
+                let mut tracker = LeaderTracker::new();
+                tracker.accept_new_epoch(epoch);
+                if leader_key.is_some() {
+                    tracker.beat();
+                }
+                let mut state = GroupState::fresh(key_history, leader_key, passport, tracker);
+                state.membership = Membership::from_dots(adds, removes);
+                state.latest_descriptor = latest_descriptor;
+                state.desc_seq = desc_seq;
+                state.next_dot = next_dot;
+                state.view = contacts;
+                // A restarted leader republishes on its next cycle so
+                // the network relearns the descriptor it is the durable
+                // root for.
+                state.dirty = state.leader_key.is_some();
+                self.pending_joins.remove(&group); // the join completed
+                self.groups.insert(group, state);
+            }
+            REC_TOMBSTONE => {
+                let group: GroupId = r.take()?;
+                r.finish()?;
+                self.groups.remove(&group);
+                self.pending_joins.remove(&group);
+                self.deleted.insert(group);
+            }
+            REC_PENDING => {
+                let group: GroupId = r.take()?;
+                let key_bytes: Vec<u8> = r.take_bytes()?.to_vec();
+                let accreditation: Vec<u8> = r.take_bytes()?.to_vec();
+                let entry_point: PrivateEntry = r.take()?;
+                r.finish()?;
+                if self.groups.contains_key(&group) || self.deleted.contains(&group) {
+                    return Ok(());
+                }
+                let group_key =
+                    PublicKey::from_bytes(&key_bytes).ok_or(WireError::new("journaled invite"))?;
+                self.pending_joins.insert(
+                    group,
+                    PendingJoin {
+                        invitation: Invitation { group, group_key, accreditation, entry_point },
+                        msg_id: None,
+                    },
+                );
+            }
+            _ => return Err(WireError::new("journal record tag")),
+        }
+        Ok(())
+    }
+
+    /// Appends a fresh snapshot of `group` to the journal, compacting
+    /// when the log has grown past the threshold.
+    fn journal_group(&mut self, group: GroupId) {
+        let Some(state) = self.groups.get(&group) else {
+            return;
+        };
+        let record = encode_group_record(group, state);
+        self.journal.append(&record);
+        if self.journal.len_bytes() > JOURNAL_COMPACT_BYTES {
+            self.compact_journal();
+        }
+    }
+
+    /// Rewrites the journal as one snapshot per live group, one pending
+    /// record per outstanding join and one tombstone per deleted group.
+    fn compact_journal(&mut self) {
+        let mut records: Vec<Vec<u8>> = Vec::new();
+        let mut ids: Vec<GroupId> = self.groups.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            records.push(encode_group_record(id, &self.groups[&id]));
+        }
+        let mut pending: Vec<GroupId> = self.pending_joins.keys().copied().collect();
+        pending.sort_unstable();
+        for id in pending {
+            records.push(encode_pending_record(id, &self.pending_joins[&id].invitation));
+        }
+        for id in &self.deleted {
+            records.push(encode_tombstone_record(*id));
+        }
+        self.journal.reset_with(records.iter().map(|r| r.as_slice()));
     }
 
     /// Handles a WCL route failure for a tracked send.
@@ -671,6 +1088,19 @@ impl Ppss {
     ) -> Option<Vec<PpssEvent>> {
         let msg = PpssMsg::from_wire(payload).ok()?;
         let mut events = Vec::new();
+        let gid = match &msg {
+            PpssMsg::JoinReq { group, .. }
+            | PpssMsg::JoinAck { group, .. }
+            | PpssMsg::Exchange { group, .. }
+            | PpssMsg::AppData { group, .. }
+            | PpssMsg::PcpRefresh { group, .. } => *group,
+        };
+        if self.deleted.contains(&gid) {
+            // A verified tombstone outranks every message about the
+            // group, including join handshakes still in flight.
+            ctx.metrics().count("ppss.resurrection_blocked", 1);
+            return Some(events);
+        }
         match msg {
             PpssMsg::JoinReq { group, accreditation, entry } => {
                 self.handle_join_req(ctx, nylon, wcl, group, accreditation, entry);
@@ -688,10 +1118,13 @@ impl Ppss {
                 hb,
                 election,
                 new_key,
+                member_adds,
+                member_removes,
             } => {
                 self.handle_exchange(
-                    ctx, nylon, wcl, group, passport, from_entry, entries, exchange_id,
-                    is_response, hb, election, new_key, &mut events,
+                    ctx, nylon, wcl, group, passport, *from_entry, entries, exchange_id,
+                    is_response, hb, election, new_key, member_adds, member_removes,
+                    &mut events,
                 );
             }
             PpssMsg::AppData { group, passport, data, reply_entry } => {
@@ -765,6 +1198,16 @@ impl Ppss {
             return;
         }
         let passport = Passport::issue(leader_key, group, entry.node);
+        // The admission gets a unique dot; it rides the next descriptor
+        // so every member's OR-set learns of the join.
+        let dot = MemberDot {
+            node: entry.node,
+            epoch: state.tracker.epoch,
+            counter: state.next_dot,
+        };
+        state.next_dot += 1;
+        state.membership.add(dot);
+        state.dirty = true;
         // Seed the joiner with a slice of our view plus ourselves.
         let mut entries = vec![my_entry];
         entries.extend(state.view.iter().take(self.cfg.gossip_len).cloned());
@@ -777,6 +1220,7 @@ impl Ppss {
         state.merge_entries(me, vec![entry.clone()], cap);
         ctx.metrics().count("ppss.joins_accepted", 1);
         wcl.send_untracked(ctx, nylon, &entry.dest_info(), &ack.to_wire());
+        self.journal_group(group);
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -808,19 +1252,11 @@ impl Ppss {
             return;
         }
         self.pending_joins.remove(&group);
-        let mut state = GroupState {
-            key_history: history,
-            leader_key: None,
-            passport,
-            view: Vec::new(),
-            pcp: HashMap::new(),
-            tracker: LeaderTracker::new(),
-            outstanding: None,
-            latest_announcement: None,
-        };
+        let mut state = GroupState::fresh(history, None, passport, LeaderTracker::new());
         state.merge_entries(nylon.id(), entries, self.cfg.view_size);
         self.groups.insert(group, state);
         ctx.metrics().count("ppss.joins_completed", 1);
+        self.journal_group(group);
         events.push(PpssEvent::Joined { group });
         events.push(PpssEvent::ViewUpdated { group });
     }
@@ -840,6 +1276,8 @@ impl Ppss {
         hb: Heartbeat,
         election: Option<ElectionBallot>,
         new_key: Option<NewKeyAnnouncement>,
+        member_adds: Vec<MemberDot>,
+        member_removes: Vec<MemberDot>,
         events: &mut Vec<PpssEvent>,
     ) {
         let my_entry = self.my_entry(nylon);
@@ -861,12 +1299,14 @@ impl Ppss {
         // (the paper allows "one or several leaders"); every validly
         // signed key for a current-or-newer epoch joins the history so
         // passports from any co-leader verify.
+        let mut journal_after = false;
         if let Some(ann) = new_key {
             if ann.epoch >= state.tracker.epoch {
                 if let Some(group_key) = ann.verify() {
                     if !state.key_history.contains(&group_key) {
                         state.key_history.push(group_key);
                         ctx.metrics().count("ppss.new_key_accepted", 1);
+                        journal_after = true;
                     }
                     state.tracker.accept_new_epoch(ann.epoch);
                     let fresher = state
@@ -884,19 +1324,38 @@ impl Ppss {
         if let Some(ballot) = election {
             state.tracker.observe_ballot(ballot);
         }
+        // Membership anti-entropy: fold the peer's dots into our OR-set.
+        // This, not the (latest-only, bounded-delta) descriptor, is what
+        // carries old admissions to late joiners.
+        if state.membership.merge(&Membership::from_dots(member_adds, member_removes.clone())) {
+            journal_after = true;
+            state.dirty = true;
+            ctx.metrics().count("ppss.membership_folded", 1);
+        }
+        // Explicitly-removed nodes leave the view immediately instead of
+        // lingering until liveness pruning notices.
+        for dot in &member_removes {
+            if !state.membership.is_member(dot.node) {
+                state.view.retain(|e| e.node != dot.node);
+                state.pcp.remove(&dot.node);
+            }
+        }
         if !is_response {
             // Answer with our own buffer (built pre-merge).
             let buffer = Self::build_buffer(state, &my_entry, from_entry.node, cfg.gossip_len, ctx);
+            let (member_adds, member_removes) = state.membership.recent_dots(EXCHANGE_DOTS);
             let resp = PpssMsg::Exchange {
                 group,
                 passport: state.passport.clone(),
-                from_entry: my_entry.clone(),
+                from_entry: Box::new(my_entry.clone()),
                 entries: buffer,
                 exchange_id,
                 is_response: true,
                 hb: state.tracker.heartbeat(),
                 election: state.tracker.ballot(),
                 new_key: state.latest_announcement.clone(),
+                member_adds,
+                member_removes,
             };
             ctx.metrics().count("ppss.exchanges_served", 1);
             wcl.send_untracked(ctx, nylon, &from_entry.dest_info(), &resp.to_wire());
@@ -910,7 +1369,79 @@ impl Ppss {
         let mut received = entries;
         received.push(from_entry);
         state.merge_entries(me, received, cfg.view_size);
+        if journal_after {
+            // The key history (and possibly the epoch) changed — that is
+            // durable state; losing it on crash would orphan passports.
+            self.journal_group(group);
+        }
         events.push(PpssEvent::ViewUpdated { group });
+    }
+
+    /// Processes a descriptor blob surfaced by the Nylon relay layer.
+    ///
+    /// Non-members relay blobs without ever reaching this point (the
+    /// store merge happens inside `whisper-pss`); members verify the
+    /// signature against their key history and fold verified descriptors
+    /// into the group CRDT. A verified deletion tombstone destroys the
+    /// group on the spot, forever.
+    pub fn on_descriptor(&mut self, ctx: &mut Ctx<'_>, bytes: &[u8]) -> Vec<PpssEvent> {
+        let mut events = Vec::new();
+        let Ok(desc) = GroupDescriptor::from_wire(bytes) else {
+            ctx.metrics().count("ppss.desc_unparseable", 1);
+            return events;
+        };
+        let group = desc.group;
+        if self.deleted.contains(&group) {
+            if !desc.tombstone {
+                ctx.metrics().count("ppss.resurrection_blocked", 1);
+            }
+            return events;
+        }
+        let Some(state) = self.groups.get_mut(&group) else {
+            return events; // not a member: relay-only, nothing to verify
+        };
+        if !desc.verify(&state.key_history) {
+            // Signed under a key we have not learned yet (it will verify
+            // once the NewKeyAnnouncement lands), or forged. Either way:
+            // fail closed.
+            ctx.metrics().count("ppss.desc_unverified", 1);
+            return events;
+        }
+        if desc.tombstone {
+            self.groups.remove(&group);
+            self.pending_joins.remove(&group);
+            self.deleted.insert(group);
+            self.journal.append(&encode_tombstone_record(group));
+            ctx.metrics().count("ppss.groups_deleted", 1);
+            events.push(PpssEvent::GroupDeleted { group });
+            return events;
+        }
+        let mut changed = state.membership.apply(&desc);
+        if desc.epoch > state.tracker.epoch {
+            // The signer verified, so a higher epoch is authoritative
+            // even before its heartbeats reach us.
+            state.tracker.accept_new_epoch(desc.epoch);
+            changed = true;
+        }
+        let fresher = state
+            .latest_descriptor
+            .as_ref()
+            .is_none_or(|cur| desc.dominates(cur));
+        if fresher {
+            let now = ctx.now().as_micros();
+            if now >= desc.born_at {
+                ctx.metrics()
+                    .sample("ppss.desc_prop_s", (now - desc.born_at) as f64 / 1e6);
+            }
+            ctx.metrics().count("ppss.desc_adopted", 1);
+            state.latest_descriptor = Some(desc);
+            changed = true;
+        }
+        if changed {
+            self.journal_group(group);
+            events.push(PpssEvent::ViewUpdated { group });
+        }
+        events
     }
 
     /// Builds the exchange buffer: a random `len`-sized subset of the

@@ -140,13 +140,15 @@ fn forged_passport_is_silently_ignored() {
     let forged = PpssMsg::Exchange {
         group,
         passport: whisper_core::Passport { node: outsider, signature: vec![0xAB; 48] },
-        from_entry: victim_entry.clone(),
+        from_entry: Box::new(victim_entry.clone()),
         entries: vec![],
         exchange_id: 1,
         is_response: false,
         hb: Default::default(),
         election: None,
         new_key: None,
+        member_adds: vec![],
+        member_removes: vec![],
     }
     .to_wire();
     let before = net.sim.metrics().counter("ppss.dropped_bad_passport");
@@ -328,4 +330,221 @@ fn multi_group_memberships_stay_separate() {
         })
         .count();
     assert!(both >= shared.len() - 1, "{both}/{} hold both", shared.len());
+}
+
+// ---------------------------------------------------------------------
+// Durable group lifecycle: journal replay, corruption salvage, deletion
+// tombstones and descriptor-carried membership (PR 9).
+// ---------------------------------------------------------------------
+
+#[test]
+fn descriptors_propagate_membership_to_all_members() {
+    let cfg = WhisperConfig::default();
+    let mut net = build(30, &cfg, SimConfig::cluster(21), 250);
+    let leader = net.ids[4];
+    let members: Vec<NodeId> = net.ids[5..13].to_vec();
+    let group = form_group(&mut net, leader, &members, "descr-prop");
+    net.sim.run_for_secs(600);
+
+    let joined = members_of(&net, group, &net.ids);
+    assert!(joined.len() >= 8, "{} joined", joined.len());
+
+    // Every member eventually adopts a signed descriptor, and the OR-set
+    // converges: exchanges carry old admission dots to late joiners, so
+    // each member's membership covers (nearly) the whole group.
+    let mut adopted = 0;
+    let mut converged = 0;
+    for &m in &joined {
+        let node: &WhisperNode = net.sim.node(m).unwrap();
+        let state = node.ppss().group(group).unwrap();
+        if state.latest_descriptor().is_some() {
+            adopted += 1;
+        }
+        if state.membership().members().len() >= joined.len() - 1 {
+            converged += 1;
+        }
+    }
+    assert!(
+        adopted >= joined.len() - 1,
+        "{adopted}/{} members adopted a descriptor",
+        joined.len()
+    );
+    assert!(
+        converged >= joined.len() - 1,
+        "{converged}/{} memberships converged",
+        joined.len()
+    );
+    let metrics = net.sim.metrics();
+    assert!(metrics.counter("ppss.desc_published") > 0, "leader published");
+    assert!(metrics.counter("ppss.desc_adopted") > 0, "members adopted");
+    assert!(metrics.counter("pss.desc_merged") > 0, "relays carried blobs");
+    assert!(
+        !metrics.samples("ppss.desc_prop_s").is_empty(),
+        "propagation latency sampled"
+    );
+}
+
+#[test]
+fn groups_survive_crash_restart_via_journal_replay() {
+    use whisper_net::fault::FaultPlan;
+    use whisper_net::SimDuration;
+
+    let cfg = WhisperConfig::default();
+    let mut net = build(30, &cfg, SimConfig::cluster(22), 250);
+    let leader = net.ids[4];
+    let members: Vec<NodeId> = net.ids[5..13].to_vec();
+    let group = form_group(&mut net, leader, &members, "durable");
+    net.sim.run_for_secs(400);
+    let joined = members_of(&net, group, &net.ids);
+    let victim = *joined.iter().find(|id| **id != leader).expect("a member joined");
+
+    let now = net.sim.now();
+    let plan = FaultPlan::new().crash_restart(
+        victim,
+        now + SimDuration::from_secs(5),
+        now + SimDuration::from_secs(60),
+    );
+    net.sim.install_fault_plan(plan);
+    net.sim.run_for_secs(70);
+
+    // Immediately after restart the group state is back — rebuilt from
+    // journal replay alone, not from any surviving in-memory state.
+    assert!(net.sim.metrics().counter("ppss.journal_replayed") > 0, "journal replayed");
+    assert!(
+        net.sim.metrics().counter("ppss.journal_groups_restored") >= 1,
+        "group restored from journal"
+    );
+    {
+        let node: &WhisperNode = net.sim.node(victim).unwrap();
+        assert!(node.ppss().group(group).is_some(), "group survived the crash");
+    }
+
+    // ... and the member re-converges: its private view repopulates from
+    // the journaled contacts within a few PPSS cycles.
+    net.sim.run_for_secs(300);
+    let node: &WhisperNode = net.sim.node(victim).unwrap();
+    let state = node.ppss().group(group).expect("still a member");
+    assert!(
+        state.view().len() >= 2,
+        "view repopulated after restart ({} entries)",
+        state.view().len()
+    );
+}
+
+#[test]
+fn damaged_journals_salvage_their_valid_prefix_on_restart() {
+    use whisper_net::fault::FaultPlan;
+    use whisper_net::SimDuration;
+
+    let cfg = WhisperConfig::default();
+    let mut net = build(30, &cfg, SimConfig::cluster(23), 250);
+    let leader = net.ids[4];
+    let members: Vec<NodeId> = net.ids[5..13].to_vec();
+    let group = form_group(&mut net, leader, &members, "salvage");
+    net.sim.run_for_secs(400);
+    let joined = members_of(&net, group, &net.ids);
+    let mut non_leaders = joined.iter().copied().filter(|id| *id != leader);
+    let flip_victim = non_leaders.next().expect("member one");
+    let cut_victim = non_leaders.next().expect("member two");
+
+    // Damage the journals *in place*: flip a bit inside the last record
+    // of one, shear the tail off the other — the torn-write and
+    // bit-rot failure modes a real disk produces.
+    net.sim.with_node_ctx::<WhisperNode>(flip_victim, |node, _| {
+        let raw = node.ppss_mut().journal_mut().raw_mut();
+        let len = raw.len();
+        raw[len - 3] ^= 0x10;
+    });
+    net.sim.with_node_ctx::<WhisperNode>(cut_victim, |node, _| {
+        let raw = node.ppss_mut().journal_mut().raw_mut();
+        let len = raw.len();
+        raw.truncate(len - 7);
+    });
+
+    let now = net.sim.now();
+    let plan = FaultPlan::new()
+        .crash_restart(
+            flip_victim,
+            now + SimDuration::from_secs(2),
+            now + SimDuration::from_secs(40),
+        )
+        .crash_restart(
+            cut_victim,
+            now + SimDuration::from_secs(2),
+            now + SimDuration::from_secs(40),
+        );
+    net.sim.install_fault_plan(plan);
+    net.sim.run_for_secs(60);
+
+    // The damage is *attributed* (named counters, never silent) and the
+    // valid prefix still restores the group: earlier snapshots of the
+    // same group precede the damaged tail.
+    let attributed = net.sim.metrics().counter("ppss.journal_corrupt")
+        + net.sim.metrics().counter("ppss.journal_truncated");
+    assert!(attributed >= 1, "journal damage attributed to a named counter");
+    for victim in [flip_victim, cut_victim] {
+        let node: &WhisperNode = net.sim.node(victim).unwrap();
+        assert!(
+            node.ppss().group(group).is_some(),
+            "{victim:?} salvaged its group from the valid journal prefix"
+        );
+    }
+}
+
+#[test]
+fn deleted_groups_never_resurrect() {
+    let cfg = WhisperConfig::default();
+    let mut net = build(30, &cfg, SimConfig::cluster(24), 250);
+    let leader = net.ids[4];
+    let members: Vec<NodeId> = net.ids[5..13].to_vec();
+    let group = form_group(&mut net, leader, &members, "doomed");
+    net.sim.run_for_secs(400);
+    let joined = members_of(&net, group, &net.ids);
+    assert!(joined.len() >= 8, "{} joined before deletion", joined.len());
+
+    // Save an invitation from before the deletion: the resurrection
+    // attempt below presents otherwise-valid credentials.
+    let stale_invite = net
+        .sim
+        .node::<WhisperNode>(leader)
+        .unwrap()
+        .invite(group, net.ids[20])
+        .expect("leader can invite");
+
+    net.sim.with_node_ctx::<WhisperNode>(leader, |node, ctx| {
+        assert!(node.delete_group(ctx, group), "leader deletes its group");
+    });
+    // Tombstone descriptors ride the relay gossip to every member.
+    net.sim.run_for_secs(600);
+
+    let survivors = members_of(&net, group, &net.ids);
+    assert!(
+        survivors.is_empty(),
+        "{} nodes still hold the deleted group: {survivors:?}",
+        survivors.len()
+    );
+    assert!(
+        net.sim.metrics().counter("ppss.groups_deleted") as usize >= joined.len(),
+        "every member tore the group down"
+    );
+
+    // A node presenting a pre-deletion invitation cannot rejoin: the
+    // tombstone is sticky ("tombstones are forever").
+    net.sim.with_node_ctx::<WhisperNode>(net.ids[20], |node, ctx| {
+        node.join_group(ctx, stale_invite);
+    });
+    net.sim.run_for_secs(120);
+    assert!(
+        net.sim
+            .node::<WhisperNode>(net.ids[20])
+            .unwrap()
+            .ppss()
+            .group(group)
+            .is_none(),
+        "stale invitation must not resurrect a deleted group"
+    );
+    assert!(
+        net.sim.metrics().counter("ppss.resurrection_blocked") > 0,
+        "the blocked attempt is attributed"
+    );
 }

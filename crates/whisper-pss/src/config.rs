@@ -44,6 +44,12 @@ pub struct NylonConfig {
     /// live entry can reach between refreshes, or healthy peers get
     /// purged too.
     pub max_age: u16,
+    /// Group-descriptor blobs piggybacked per gossip message (the
+    /// relay-level dissemination of `descriptors`). `0` disables the
+    /// piggyback entirely.
+    pub descriptor_gossip: usize,
+    /// Capacity of the relay-level descriptor store.
+    pub descriptor_cap: usize,
 }
 
 impl Default for NylonConfig {
@@ -60,6 +66,8 @@ impl Default for NylonConfig {
             open_timeout: SimDuration::from_millis(800),
             rsa: RsaKeySize::Sim384,
             max_age: 20,
+            descriptor_gossip: 2,
+            descriptor_cap: 256,
         }
     }
 }

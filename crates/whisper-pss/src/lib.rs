@@ -33,6 +33,7 @@
 
 pub mod backlog;
 pub mod config;
+pub mod descriptors;
 pub mod graph;
 pub mod messages;
 pub mod nylon;
@@ -41,5 +42,6 @@ pub mod view;
 
 pub use backlog::{CbEntry, ConnectionBacklog};
 pub use config::NylonConfig;
+pub use descriptors::{DescriptorBlob, DescriptorStore};
 pub use nylon::{NylonCore, NylonEvent, NylonNode};
 pub use view::{View, ViewEntry};

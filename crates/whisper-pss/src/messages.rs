@@ -4,6 +4,7 @@
 //! with the `whisper-net` codec. Upper layers (WCL/PPSS) travel inside
 //! [`NylonMsg::App`] payloads.
 
+use crate::descriptors::DescriptorBlob;
 use crate::view::ViewEntry;
 use whisper_net::wire::{WireDecode, WireEncode, WireError, WireReader, WireWriter};
 use whisper_net::{Endpoint, NodeId};
@@ -23,6 +24,8 @@ pub enum NylonMsg {
         entries: Vec<ViewEntry>,
         /// Serialized public key, if key sampling is on.
         key: Option<Vec<u8>>,
+        /// Piggybacked group-descriptor blobs (relay-level anti-entropy).
+        descs: Vec<DescriptorBlob>,
     },
     /// Gossip exchange response (same shape as the request).
     GossipResp {
@@ -34,6 +37,8 @@ pub enum NylonMsg {
         entries: Vec<ViewEntry>,
         /// Serialized public key, if key sampling is on.
         key: Option<Vec<u8>>,
+        /// Piggybacked group-descriptor blobs (relay-level anti-entropy).
+        descs: Vec<DescriptorBlob>,
     },
     /// A message relayed along a rendezvous chain. `remaining` lists the
     /// hops still to traverse; its last element is the final destination.
@@ -126,19 +131,21 @@ const TAG_APP: u8 = 10;
 impl WireEncode for NylonMsg {
     fn encode(&self, w: &mut WireWriter) {
         match self {
-            NylonMsg::GossipReq { sender, sender_public, entries, key } => {
+            NylonMsg::GossipReq { sender, sender_public, entries, key, descs } => {
                 w.put_u8(TAG_GOSSIP_REQ);
                 w.put(sender);
                 w.put(sender_public);
                 w.put_seq(entries);
                 w.put_opt(key);
+                w.put_seq(descs);
             }
-            NylonMsg::GossipResp { sender, sender_public, entries, key } => {
+            NylonMsg::GossipResp { sender, sender_public, entries, key, descs } => {
                 w.put_u8(TAG_GOSSIP_RESP);
                 w.put(sender);
                 w.put(sender_public);
                 w.put_seq(entries);
                 w.put_opt(key);
+                w.put_seq(descs);
             }
             NylonMsg::Relayed { from, remaining, path_back, inner } => {
                 w.put_u8(TAG_RELAYED);
@@ -195,12 +202,14 @@ impl WireDecode for NylonMsg {
                 sender_public: r.take()?,
                 entries: r.take_seq()?,
                 key: r.take_opt()?,
+                descs: r.take_seq()?,
             },
             TAG_GOSSIP_RESP => NylonMsg::GossipResp {
                 sender: r.take()?,
                 sender_public: r.take()?,
                 entries: r.take_seq()?,
                 key: r.take_opt()?,
+                descs: r.take_seq()?,
             },
             TAG_RELAYED => NylonMsg::Relayed {
                 from: r.take()?,
@@ -251,12 +260,14 @@ mod tests {
                 route: vec![NodeId(4)],
             }],
             key: Some(vec![1, 2, 3]),
+            descs: vec![DescriptorBlob { id: 7, version: 3, bytes: vec![9; 20] }],
         });
         round_trip(NylonMsg::GossipResp {
             sender: NodeId(1),
             sender_public: false,
             entries: vec![],
             key: None,
+            descs: vec![],
         });
     }
 

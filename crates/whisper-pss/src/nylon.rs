@@ -10,6 +10,7 @@
 
 use crate::backlog::{CbEntry, ConnectionBacklog};
 use crate::config::NylonConfig;
+use crate::descriptors::{DescriptorBlob, DescriptorStore};
 use crate::messages::NylonMsg;
 use crate::transport::{peer_of_token, SendOutcome, Transport, TIMER_OPEN_TIMEOUT};
 use crate::view::{View, ViewEntry};
@@ -51,6 +52,17 @@ pub enum NylonEvent {
         /// The exchange partner.
         partner: NodeId,
     },
+    /// A fresher group-descriptor blob was merged into the relay store
+    /// (the layer above verifies and interprets it; this layer only
+    /// relays).
+    Descriptor {
+        /// Blob identifier (a group id, opaque here).
+        id: u128,
+        /// LWW version of the merged blob.
+        version: u64,
+        /// Opaque blob bytes.
+        bytes: Vec<u8>,
+    },
 }
 
 /// The Nylon protocol state of one node.
@@ -69,6 +81,7 @@ pub struct NylonCore {
     ping_pending: HashMap<NodeId, SimTime>,
     punch_retries: HashMap<NodeId, (Endpoint, u8)>,
     cycles_run: u64,
+    descs: DescriptorStore,
 }
 
 impl std::fmt::Debug for NylonCore {
@@ -87,6 +100,7 @@ impl NylonCore {
     pub fn new(cfg: NylonConfig, keypair: KeyPair) -> Self {
         cfg.validate();
         let cb = ConnectionBacklog::new(cfg.cb_capacity());
+        let descs = DescriptorStore::new(cfg.descriptor_cap);
         NylonCore {
             cfg,
             keypair,
@@ -102,6 +116,7 @@ impl NylonCore {
             ping_pending: HashMap::new(),
             punch_retries: HashMap::new(),
             cycles_run: 0,
+            descs,
         }
     }
 
@@ -153,6 +168,18 @@ impl NylonCore {
     /// Number of completed gossip cycles (diagnostics).
     pub fn cycles_run(&self) -> u64 {
         self.cycles_run
+    }
+
+    /// The relay-level group-descriptor store.
+    pub fn descriptors(&self) -> &DescriptorStore {
+        &self.descs
+    }
+
+    /// Publishes (or refreshes) a descriptor blob into the relay store;
+    /// it will piggyback on subsequent gossip exchanges. Returns `true`
+    /// when the blob was news under the store's LWW rule.
+    pub fn publish_descriptor(&mut self, id: u128, version: u64, bytes: &[u8]) -> bool {
+        self.descs.offer(id, version, bytes)
     }
 
     /// The `getPeer()` API of Fig. 1: a uniformly random view entry.
@@ -217,6 +244,7 @@ impl NylonCore {
         self.outstanding = None;
         self.ping_pending.clear();
         self.punch_retries.clear();
+        self.descs.clear();
         let id = self.id;
         for &b in &self.bootstrap.clone() {
             if b != id {
@@ -338,6 +366,7 @@ impl NylonCore {
             sender_public: self.public,
             entries: buffer,
             key: self.key_payload(),
+            descs: self.descs.next_batch(self.cfg.descriptor_gossip),
         };
         ctx.metrics().count("pss.gossip_initiated", 1);
         let outcome = self.send_msg(ctx, partner, partner_entry.public, &msg, &partner_entry.route);
@@ -426,8 +455,9 @@ impl NylonCore {
         events: &mut Vec<NylonEvent>,
     ) {
         match msg {
-            NylonMsg::GossipReq { sender, sender_public, entries, key } => {
+            NylonMsg::GossipReq { sender, sender_public, entries, key, descs } => {
                 self.learn_key(sender, &key);
+                self.merge_descriptors(ctx, descs, events);
                 // Build the reply from the *pre-merge* view, as the
                 // push-pull exchange prescribes.
                 let reply_buffer = self.view.make_buffer(
@@ -451,13 +481,15 @@ impl NylonCore {
                     sender_public: self.public,
                     entries: reply_buffer,
                     key: self.key_payload(),
+                    descs: self.descs.next_batch(self.cfg.descriptor_gossip),
                 };
                 self.send_msg(ctx, sender, sender_public, &resp, &[]);
                 self.maintain_cb(ctx);
                 ctx.metrics().count("pss.gossip_served", 1);
             }
-            NylonMsg::GossipResp { sender, sender_public, entries, key } => {
+            NylonMsg::GossipResp { sender, sender_public, entries, key, descs } => {
                 self.learn_key(sender, &key);
+                self.merge_descriptors(ctx, descs, events);
                 if matches!(self.outstanding, Some((p, _)) if p == sender) {
                     self.outstanding = None;
                 }
@@ -606,6 +638,26 @@ impl NylonCore {
             }
             NylonMsg::App { from, payload } => {
                 events.push(NylonEvent::Payload { from, data: payload });
+            }
+        }
+    }
+
+    /// Folds piggybacked blobs into the store; every merged-fresh blob
+    /// surfaces as a [`NylonEvent::Descriptor`] for the layer above.
+    fn merge_descriptors(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        descs: Vec<DescriptorBlob>,
+        events: &mut Vec<NylonEvent>,
+    ) {
+        for blob in descs {
+            if self.descs.offer(blob.id, blob.version, &blob.bytes) {
+                ctx.metrics().count("pss.desc_merged", 1);
+                events.push(NylonEvent::Descriptor {
+                    id: blob.id,
+                    version: blob.version,
+                    bytes: blob.bytes,
+                });
             }
         }
     }

@@ -48,6 +48,9 @@ for s in 7 11 13; do
   WHISPER_CHAOS_SEED=$s cargo test -q --release --offline --test chaos -- --ignored
 done
 
+step "group-lifecycle bench (1k nodes / 4 shards; propagation + recovery metrics -> BENCH_pr9.json)"
+WHISPER_BENCH_JSON=BENCH_pr9.json cargo run -q --release --offline -p whisper-bench --bin group_lifecycle
+
 step "engine scale-out smoke (nodes-per-second, quick sweep)"
 cargo run -q --release --offline -p whisper-bench --bin fig5_biased_pss -- --scale --quick | grep '^scaling:'
 

@@ -165,3 +165,112 @@ fn full_crash_restart_1k_nodes_on_4_shards() {
     let out = run_scenario(scenario, &params);
     assert_invariants(scenario, &out, 0.90);
 }
+
+// ------------------------------------------- group lifecycle (tentpole)
+
+use whisper_bench::chaos::{run_group_lifecycle, LifecycleOutcome};
+
+fn assert_lifecycle_invariants(out: &LifecycleOutcome, min_delivery: f64, max_prop_p95_s: f64) {
+    assert_eq!(
+        out.echo.unattributed, 0,
+        "lifecycle: message(s) vanished without a named drop counter\ncounters: {:?}",
+        out.echo.counters
+    );
+    assert_eq!(
+        out.resurrections, 0,
+        "lifecycle: {} node(s) still hold a deleted group",
+        out.resurrections
+    );
+    assert!(!out.deleted.is_empty(), "lifecycle: no group was deleted");
+    assert!(
+        out.echo.delivery_ratio() >= min_delivery,
+        "lifecycle: delivery {:.1}% < {:.0}% ({} acked / {} sent, {} skipped)",
+        out.echo.delivery_ratio() * 100.0,
+        min_delivery * 100.0,
+        out.echo.acked,
+        out.echo.sent,
+        out.echo.skipped,
+    );
+    assert!(
+        out.desc_prop_samples > 0,
+        "lifecycle: no descriptor propagation latency was sampled"
+    );
+    assert!(
+        out.desc_prop_p95_s <= max_prop_p95_s,
+        "lifecycle: descriptor propagation p95 {:.1}s exceeds {:.0}s",
+        out.desc_prop_p95_s,
+        max_prop_p95_s
+    );
+    assert!(
+        out.late_members >= 3,
+        "lifecycle: late group only reached {} members",
+        out.late_members
+    );
+    assert!(out.migrated_ok, "lifecycle: migrated member lost its new group");
+    assert!(
+        out.journal_replays > 0 && out.journal_restored > 0,
+        "lifecycle: no crash-restart replayed the journal (replays={}, restored={})",
+        out.journal_replays,
+        out.journal_restored
+    );
+}
+
+#[test]
+fn smoke_group_lifecycle() {
+    let out = run_group_lifecycle(&ChaosParams::smoke(7));
+    eprintln!(
+        "lifecycle smoke: delivery={:.3} sent={} prop_samples={} prop_p95={:.1}s late={} replays={} restored={} deleted={}",
+        out.echo.delivery_ratio(),
+        out.echo.sent,
+        out.desc_prop_samples,
+        out.desc_prop_p95_s,
+        out.late_members,
+        out.journal_replays,
+        out.journal_restored,
+        out.deleted.len(),
+    );
+    assert_lifecycle_invariants(&out, 0.85, 150.0);
+}
+
+/// The tentpole determinism clause: the lifecycle scenario — group
+/// creation, joins, migration, deletion tombstones, journal replays,
+/// descriptor gossip — produces byte-identical observable traces
+/// whether the engine runs 1, 2 or 4 shards.
+#[test]
+fn group_lifecycle_is_shard_invariant() {
+    let base = run_group_lifecycle(&ChaosParams::smoke(7));
+    for shards in [2usize, 4] {
+        let out = run_group_lifecycle(&ChaosParams { shards, ..ChaosParams::smoke(7) });
+        assert!(
+            base.trace == out.trace,
+            "{shards}-shard lifecycle trace diverged from 1-shard"
+        );
+    }
+}
+
+/// 1000-node group-lifecycle acceptance on the 4-shard engine: groups
+/// created, joined, migrated and deleted while a partition and a wave of
+/// crash/restarts play out. Run by scripts/verify.sh in release mode
+/// across the fixed seed matrix (7, 11, 13).
+#[test]
+#[ignore = "1k-node acceptance run; executed in release mode by scripts/verify.sh"]
+fn full_group_lifecycle_1k_nodes_on_4_shards() {
+    let params = ChaosParams {
+        nodes: 1000,
+        groups: 10,
+        shards: 4,
+        warmup: 250,
+        settle: 90,
+        ..ChaosParams::full(acceptance_seed())
+    };
+    let out = run_group_lifecycle(&params);
+    assert_lifecycle_invariants(&out, 0.90, 150.0);
+    // Scale-out extras: several groups deleted, several crash-restarts
+    // replayed their journals.
+    assert!(out.deleted.len() >= 2, "only {} group(s) deleted", out.deleted.len());
+    assert!(
+        out.journal_restored >= 10,
+        "only {} group states restored from journals",
+        out.journal_restored
+    );
+}
