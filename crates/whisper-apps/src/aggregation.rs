@@ -94,6 +94,10 @@ impl WireEncode for AggMsg {
             }
         }
     }
+
+    fn encoded_len(&self) -> usize {
+        1 + 8
+    }
 }
 
 impl WireDecode for AggMsg {

@@ -30,6 +30,10 @@ impl WireEncode for EventId {
         w.put(&self.origin);
         w.put_u64(self.seq);
     }
+
+    fn encoded_len(&self) -> usize {
+        16
+    }
 }
 
 impl WireDecode for EventId {
@@ -51,6 +55,10 @@ impl WireEncode for Event {
     fn encode(&self, w: &mut WireWriter) {
         w.put(&self.id);
         w.put_bytes(&self.payload);
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.id.encoded_len() + whisper_net::wire::bytes_len(&self.payload)
     }
 }
 
@@ -83,6 +91,14 @@ impl WireEncode for BcastMsg {
                 w.put_u8(2);
                 w.put_seq(ids);
             }
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        use whisper_net::wire::seq_len;
+        1 + match self {
+            BcastMsg::Gossip { events, digest, .. } => seq_len(events) + seq_len(digest) + 1,
+            BcastMsg::Request { ids } => seq_len(ids),
         }
     }
 }

@@ -55,6 +55,10 @@ impl WireEncode for SkipDescriptor {
         w.put_u8(self.level);
         w.put(&self.entry);
     }
+
+    fn encoded_len(&self) -> usize {
+        8 + 1 + self.entry.encoded_len()
+    }
 }
 
 impl WireDecode for SkipDescriptor {
@@ -108,6 +112,17 @@ impl WireEncode for SkipMsg {
                 w.put_u64(*query_id);
                 w.put_seq(keys);
             }
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        use whisper_net::wire::seq_len;
+        1 + match self {
+            SkipMsg::Exchange { descriptors, .. } => seq_len(descriptors) + 1,
+            SkipMsg::Search { origin, .. } => 8 + 8 + origin.encoded_len() + 1,
+            SkipMsg::SearchReply { .. } => 8 + 8 + 8 + 1,
+            SkipMsg::Range { origin, acc, .. } => 8 + 8 + 8 + origin.encoded_len() + seq_len(acc) + 1,
+            SkipMsg::RangeReply { keys, .. } => 8 + seq_len(keys),
         }
     }
 }

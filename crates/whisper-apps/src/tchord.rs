@@ -41,6 +41,10 @@ impl WireEncode for ChordDescriptor {
         w.put_u64(self.key.0);
         w.put(&self.entry);
     }
+
+    fn encoded_len(&self) -> usize {
+        8 + self.entry.encoded_len()
+    }
 }
 
 impl WireDecode for ChordDescriptor {
@@ -79,6 +83,16 @@ impl WireEncode for TChordMsg {
                 w.put_u64(owner_key.0);
                 w.put_u8(*hops);
             }
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            TChordMsg::Exchange { descriptors, .. } => {
+                whisper_net::wire::seq_len(descriptors) + 1
+            }
+            TChordMsg::Lookup { origin, .. } => 8 + 8 + origin.encoded_len() + 1,
+            TChordMsg::LookupReply { .. } => 8 + 8 + 8 + 1,
         }
     }
 }

@@ -187,17 +187,14 @@ fn bench_wcl_forward(c: &mut Bench) {
             table.insert(
                 0,
                 setups[0].cid_in,
-                CircuitEntry {
-                    key: setups[0].key,
-                    next_hop: vec![1u8; 9],
-                    cid_out: setups[0].cid_out,
-                },
+                CircuitEntry::new(setups[0].key, vec![1u8; 9], setups[0].cid_out),
             );
             let cid = setups[0].cid_in;
             group.bench_function(format!("circuit_steady/{size}B"), |b| {
                 b.iter(|| {
                     let entry = table.lookup(1, cid).expect("circuit cached");
-                    let body = circuit::peel_layer(&entry.key, &nonce0, &sealed);
+                    let mut body = sealed.clone();
+                    entry.peel_in_place(&nonce0, &mut body);
                     let next = circuit::next_nonce(&nonce0);
                     (CircuitId(next.0), body)
                 })

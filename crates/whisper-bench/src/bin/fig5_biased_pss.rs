@@ -13,6 +13,11 @@
 //!   trace-invariant throughput A/B;
 //! * `--reps N` — with `--scale`, time each cell N times and keep the
 //!   best run (suppresses shared-host noise);
+//! * `--prof` — with `--scale`, run one extra untimed repetition of
+//!   each cell with the scoped hot-path profiler on (DESIGN.md §16)
+//!   and record the per-bucket breakdown as `prof/...` rows;
+//! * `--max-allocs-per-send X` — with `--scale`, exit non-zero if any
+//!   cell's allocs-per-send exceeds X (the verify.sh regression gate);
 //! * `--allocs` — run the payload-pool A/B (heap allocations per send,
 //!   pooling on vs off; DESIGN.md §13) instead of Fig. 5.
 
@@ -36,6 +41,11 @@ fn main() {
         }
         if let Some(reps) = experiments::arg_value("--reps") {
             params.reps = reps;
+        }
+        params.prof = std::env::args().any(|a| a == "--prof");
+        if let Some(max) = experiments::arg_str("--max-allocs-per-send") {
+            params.max_allocs_per_send =
+                Some(max.parse().expect("--max-allocs-per-send takes a number"));
         }
         if allocs {
             scaling::run_allocs(&params);

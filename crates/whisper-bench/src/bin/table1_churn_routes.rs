@@ -13,7 +13,11 @@
 //!   (reference binary heap vs calendar wheel; DESIGN.md §14) for a
 //!   trace-invariant throughput A/B;
 //! * `--reps N` — with `--scale`, time each cell N times and keep the
-//!   best run (suppresses shared-host noise).
+//!   best run (suppresses shared-host noise);
+//! * `--prof` — with `--scale`, add one untimed profiled repetition
+//!   per cell recording the `prof/...` bucket rows (DESIGN.md §16);
+//! * `--max-allocs-per-send X` — with `--scale`, exit non-zero if any
+//!   cell exceeds X allocs/send.
 
 use whisper_bench::experiments::{self, scaling, table1};
 use whisper_net::sched::Scheduler;
@@ -33,6 +37,11 @@ fn main() {
         }
         if let Some(reps) = experiments::arg_value("--reps") {
             params.reps = reps;
+        }
+        params.prof = std::env::args().any(|a| a == "--prof");
+        if let Some(max) = experiments::arg_str("--max-allocs-per-send") {
+            params.max_allocs_per_send =
+                Some(max.parse().expect("--max-allocs-per-send takes a number"));
         }
         scaling::run(scaling::Stack::Whisper, &params);
         return;

@@ -70,6 +70,16 @@ pub struct Params {
     /// do identical work — the minimum is the run least disturbed by
     /// the host.
     pub reps: usize,
+    /// When set, run one *extra, untimed* repetition of every cell with
+    /// the scoped hot-path profiler enabled (DESIGN.md §16) and record
+    /// the per-bucket wall-time breakdown as `prof/...` rows. The timed
+    /// repetitions stay unprofiled so the two `Instant::now` calls per
+    /// event cannot perturb the reported nodes-per-second.
+    pub prof: bool,
+    /// Allocation-regression gate: when set, any cell whose
+    /// allocs-per-send exceeds this threshold terminates the process
+    /// with a non-zero exit (used by `scripts/verify.sh`).
+    pub max_allocs_per_send: Option<f64>,
 }
 
 impl Params {
@@ -83,6 +93,8 @@ impl Params {
             seed: 7,
             sched: Scheduler::Wheel,
             reps: 1,
+            prof: false,
+            max_allocs_per_send: None,
         }
     }
 
@@ -203,6 +215,47 @@ fn run_cell(stack: Stack, nodes: usize, shards: usize, pooling: bool, params: &P
     best.expect("reps >= 1")
 }
 
+/// The profiler buckets recorded per cell, in display order. `engine_ns`
+/// is dispatch minus callback (derived in the engine at flush time);
+/// `encode/decode/crypto_model` are sub-buckets *inside* `callback_ns`.
+const PROF_BUCKETS: [&str; 7] = [
+    "sched_ns",
+    "engine_ns",
+    "callback_ns",
+    "encode_ns",
+    "decode_ns",
+    "crypto_model_ns",
+    "events",
+];
+
+/// Runs one extra, untimed repetition of a cell with the hot-path
+/// profiler on and returns the `prof.*` counter values in
+/// [`PROF_BUCKETS`] order. The profiled trace is byte-identical to the
+/// timed one (the determinism suite runs with profiling enabled), so
+/// the breakdown attributes exactly the work the timed cell did.
+fn run_prof_cell(stack: Stack, nodes: usize, shards: usize, params: &Params) -> [u64; 7] {
+    let mut builder = NetBuilder::cluster(nodes, params.seed);
+    builder.sim = builder
+        .sim
+        .clone()
+        .with_shards(shards)
+        .with_pooling(true)
+        .with_scheduler(params.sched)
+        .with_profiling(true);
+    builder.key_cycle = Some(256);
+    let mut sim = match stack {
+        Stack::Pss => builder.build_pss(&NylonConfig::default()).sim,
+        Stack::Whisper => builder.build_whisper(|_| Box::new(NoApp)).sim,
+    };
+    sim.run_for_secs(params.window_secs(nodes));
+    let m = sim.metrics();
+    let mut out = [0u64; 7];
+    for (slot, bucket) in out.iter_mut().zip(PROF_BUCKETS) {
+        *slot = m.counter(&format!("prof.{bucket}"));
+    }
+    out
+}
+
 /// Runs the sweep, prints the curve and records every cell into the
 /// bench merge file. Also prints the one-line `scaling:` summary that
 /// `scripts/verify.sh` surfaces.
@@ -246,6 +299,30 @@ pub fn run(stack: Stack, params: &Params) {
             bench.record(format!("scaling/{id}_allocs_per_send"), allocs_per_send);
             if let Some(r) = cpu_rate {
                 bench.record(format!("scaling/{id}_nodes_per_sec_cpu"), r);
+            }
+            if let Some(max) = params.max_allocs_per_send {
+                if allocs_per_send > max {
+                    eprintln!(
+                        "scaling: ALLOC REGRESSION — {id}: {allocs_per_send:.4} \
+                         allocs/send exceeds the --max-allocs-per-send gate of {max}"
+                    );
+                    std::process::exit(1);
+                }
+            }
+            if params.prof {
+                let buckets = run_prof_cell(stack, nodes, shards, params);
+                let total: u64 = buckets[..3].iter().sum(); // sched + engine + callback
+                print!("    prof {id}:");
+                for (&v, name) in buckets.iter().zip(PROF_BUCKETS) {
+                    bench.record(format!("prof/{id}_{name}"), v as f64);
+                    if name == "events" {
+                        println!(" | {v} events");
+                    } else {
+                        let pct = 100.0 * v as f64 / total.max(1) as f64;
+                        let short = name.trim_end_matches("_ns");
+                        print!(" {short} {:.1}ms ({pct:.1}%)", v as f64 / 1e6);
+                    }
+                }
             }
             if best.is_none_or(|(_, _, b)| nodes_per_sec > b) {
                 best = Some((nodes, shards, nodes_per_sec));

@@ -68,6 +68,10 @@ impl WireEncode for MemberDot {
         w.put_u64(self.epoch);
         w.put_u64(self.counter);
     }
+
+    fn encoded_len(&self) -> usize {
+        24
+    }
 }
 
 impl WireDecode for MemberDot {
@@ -212,6 +216,16 @@ impl WireEncode for GroupDescriptor {
         w.put_u64(self.born_at);
         w.put_bytes(&self.signer_key);
         w.put_bytes(&self.signature);
+    }
+
+    fn encoded_len(&self) -> usize {
+        use whisper_net::wire::{bytes_len, seq_len};
+        16 + 8 + 8 + 32 + 1
+            + seq_len(&self.adds)
+            + seq_len(&self.removes)
+            + 8
+            + bytes_len(&self.signer_key)
+            + bytes_len(&self.signature)
     }
 }
 

@@ -50,6 +50,10 @@ impl WireEncode for GroupId {
         w.put_u64((self.0 >> 64) as u64);
         w.put_u64(self.0 as u64);
     }
+
+    fn encoded_len(&self) -> usize {
+        16
+    }
 }
 
 impl WireDecode for GroupId {
@@ -102,6 +106,10 @@ impl WireEncode for Passport {
     fn encode(&self, w: &mut WireWriter) {
         w.put(&self.node);
         w.put_bytes(&self.signature);
+    }
+
+    fn encoded_len(&self) -> usize {
+        8 + whisper_net::wire::bytes_len(&self.signature)
     }
 }
 

@@ -5,7 +5,9 @@ use crate::ppss::descriptor::MemberDot;
 use crate::ppss::group::{GroupId, Passport};
 use crate::wcl::{DestInfo, GatewayInfo};
 use whisper_crypto::rsa::PublicKey;
-use whisper_net::wire::{WireDecode, WireEncode, WireError, WireReader, WireWriter};
+use whisper_net::wire::{
+    bytes_len, opt_len, seq_len, WireDecode, WireEncode, WireError, WireReader, WireWriter,
+};
 use whisper_net::NodeId;
 
 /// One entry of a private view (paper §IV-B): the member's identity and
@@ -41,8 +43,13 @@ impl WireEncode for PrivateEntry {
         w.put(&self.node);
         w.put_u16(self.age);
         w.put(&self.public);
-        w.put_bytes(&self.key.to_bytes());
+        // Cached canonical blob: no per-send key re-serialization.
+        w.put_bytes(self.key.wire_bytes());
         w.put_seq(&self.gateways);
+    }
+
+    fn encoded_len(&self) -> usize {
+        8 + 2 + 1 + bytes_len(self.key.wire_bytes()) + seq_len(&self.gateways)
     }
 }
 
@@ -73,6 +80,10 @@ impl WireEncode for Heartbeat {
         w.put_u64(self.epoch);
         w.put_u64(self.seq);
     }
+
+    fn encoded_len(&self) -> usize {
+        16
+    }
 }
 
 impl WireDecode for Heartbeat {
@@ -102,6 +113,10 @@ impl WireEncode for ElectionBallot {
         w.put_u64(self.value);
         w.put(&self.node);
         w.put_bytes(&self.key);
+    }
+
+    fn encoded_len(&self) -> usize {
+        8 + 8 + 8 + bytes_len(&self.key)
     }
 }
 
@@ -159,6 +174,10 @@ impl WireEncode for NewKeyAnnouncement {
         w.put(&self.signer);
         w.put_bytes(&self.signer_key);
         w.put_bytes(&self.signature);
+    }
+
+    fn encoded_len(&self) -> usize {
+        8 + bytes_len(&self.group_key) + 8 + bytes_len(&self.signer_key) + bytes_len(&self.signature)
     }
 }
 
@@ -317,6 +336,50 @@ impl WireEncode for PpssMsg {
                 w.put(passport);
                 w.put(entry);
                 w.put(respond);
+            }
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            PpssMsg::JoinReq { group, accreditation, entry } => {
+                group.encoded_len() + bytes_len(accreditation) + entry.encoded_len()
+            }
+            PpssMsg::JoinAck { group, passport, key_history, entries } => {
+                group.encoded_len()
+                    + passport.encoded_len()
+                    + seq_len(key_history)
+                    + seq_len(entries)
+            }
+            PpssMsg::Exchange {
+                group,
+                passport,
+                from_entry,
+                entries,
+                hb,
+                election,
+                new_key,
+                member_adds,
+                member_removes,
+                ..
+            } => {
+                group.encoded_len()
+                    + passport.encoded_len()
+                    + from_entry.encoded_len()
+                    + seq_len(entries)
+                    + 8 // exchange_id
+                    + 1 // is_response
+                    + hb.encoded_len()
+                    + opt_len(election)
+                    + opt_len(new_key)
+                    + seq_len(member_adds)
+                    + seq_len(member_removes)
+            }
+            PpssMsg::AppData { group, passport, data, reply_entry } => {
+                group.encoded_len() + passport.encoded_len() + bytes_len(data) + opt_len(reply_entry)
+            }
+            PpssMsg::PcpRefresh { group, passport, entry, .. } => {
+                group.encoded_len() + passport.encoded_len() + entry.encoded_len() + 1
             }
         }
     }

@@ -85,7 +85,12 @@ pub struct GatewayInfo {
 impl WireEncode for GatewayInfo {
     fn encode(&self, w: &mut WireWriter) {
         w.put(&self.node);
-        w.put_bytes(&self.key.to_bytes());
+        // Cached canonical blob: no per-send key re-serialization.
+        w.put_bytes(self.key.wire_bytes());
+    }
+
+    fn encoded_len(&self) -> usize {
+        8 + whisper_net::wire::bytes_len(self.key.wire_bytes())
     }
 }
 
@@ -216,6 +221,10 @@ impl WireEncode for WclPacket {
         w.put_bytes(&self.header);
         w.put_bytes(&self.body);
     }
+
+    fn encoded_len(&self) -> usize {
+        1 + whisper_net::wire::bytes_len(&self.header) + whisper_net::wire::bytes_len(&self.body)
+    }
 }
 
 impl WireDecode for WclPacket {
@@ -247,6 +256,10 @@ impl WireEncode for CircuitPacket {
         w.put_raw(&self.cid.0);
         w.put_raw(&self.nonce.0);
         w.put_bytes(&self.body);
+    }
+
+    fn encoded_len(&self) -> usize {
+        1 + 8 + 8 + whisper_net::wire::bytes_len(&self.body)
     }
 }
 
@@ -716,6 +729,7 @@ impl Wcl {
                     let wall_started = std::time::Instant::now();
                     let body = circuit::seal_layers(&src_circuit.keys, &nonce0, payload);
                     let cost = whisper_crypto::costs::snapshot().since(cost_before);
+                    ctx.prof_crypto_model_ns(wall_started.elapsed().as_nanos() as u64);
                     sample_crypto_cost(ctx, nylon.is_public(), &cost);
                     ctx.metrics().sample(
                         "wcl.circuit_seal_us",
@@ -868,6 +882,7 @@ impl Wcl {
             Err(_) => return None,
         };
         let cost = whisper_crypto::costs::snapshot().since(cost_before);
+        ctx.prof_crypto_model_ns(build_started.elapsed().as_nanos() as u64);
         // Primary sample is the deterministic model cost; wall-clock is
         // kept as a secondary, explicitly excluded from determinism
         // traces (see DESIGN.md § "Deterministic crypto accounting").
@@ -933,12 +948,13 @@ impl Wcl {
         nylon: &mut NylonCore,
         data: &[u8],
     ) -> Option<WclEvent> {
-        let packet = WclPacket::from_wire(data).ok()?;
+        let packet = ctx.prof_decode(|| WclPacket::from_wire(data)).ok()?;
         let keypair = nylon.keypair().clone();
         let cost_before = whisper_crypto::costs::snapshot();
         let peel_started = std::time::Instant::now();
         let peeled = onion::peel_with_body(&keypair, &packet.header, &packet.body);
         let cost = whisper_crypto::costs::snapshot().since(cost_before);
+        ctx.prof_crypto_model_ns(peel_started.elapsed().as_nanos() as u64);
         // Primary sample is the deterministic model cost; wall-clock is
         // kept as a secondary, excluded from determinism traces.
         ctx.metrics().sample(
@@ -991,7 +1007,7 @@ impl Wcl {
             ctx.metrics().count("wcl.circuit_bad_setup", 1);
             return;
         };
-        let entry = CircuitEntry { key: setup.key, next_hop, cid_out: setup.cid_out };
+        let entry = CircuitEntry::new(setup.key, next_hop, setup.cid_out);
         self.circuits.insert(ctx.now().as_micros(), setup.cid_in, entry);
         ctx.metrics().count("wcl.circuit_installed", 1);
     }
@@ -1006,29 +1022,32 @@ impl Wcl {
         nylon: &mut NylonCore,
         data: &[u8],
     ) -> Option<WclEvent> {
-        let packet = CircuitPacket::from_wire(data).ok()?;
+        let packet = ctx.prof_decode(|| CircuitPacket::from_wire(data)).ok()?;
         let now_us = ctx.now().as_micros();
         let Some(entry) = self.circuits.lookup(now_us, packet.cid) else {
             ctx.metrics().count("wcl.circuit_miss_drop", 1);
             return None;
         };
-        let entry = entry.clone();
         let cost_before = whisper_crypto::costs::snapshot();
         let wall_started = std::time::Instant::now();
         // The packet body is uniquely owned here, so the layer is peeled
-        // in place: the steady-state relay path allocates no output body.
+        // in place — via the entry's cached key schedule, so the
+        // steady-state relay path pays neither an output-body allocation
+        // nor a per-packet AES key expansion (the entry is borrowed, not
+        // cloned: cloning would copy the ~368-byte schedule per packet).
         let mut body = packet.body;
-        circuit::peel_layer_in_place(&entry.key, &packet.nonce, &mut body);
+        entry.peel_in_place(&packet.nonce, &mut body);
         let cost = whisper_crypto::costs::snapshot().since(cost_before);
+        ctx.prof_crypto_model_ns(wall_started.elapsed().as_nanos() as u64);
         ctx.metrics().sample("wcl.circuit_fwd_us", cost.aes_model_ns() as f64 / 1000.0);
         ctx.metrics().sample(
             "wcl.circuit_fwd_wall_us",
             wall_started.elapsed().as_nanos() as f64 / 1000.0,
         );
         sample_crypto_cost(ctx, nylon.is_public(), &cost);
-        match entry.cid_out {
+        match entry.cid_out() {
             Some(cid_out) => {
-                let Some((next, next_public)) = parse_hop_addr(&entry.next_hop) else {
+                let Some((next, next_public)) = parse_hop_addr(entry.next_hop()) else {
                     ctx.metrics().count("wcl.bad_next_hop", 1);
                     return None;
                 };
@@ -1173,7 +1192,7 @@ mod tests {
         wcl.circuits.insert(
             0,
             CircuitId([1; 8]),
-            CircuitEntry { key: whisper_crypto::aes::AesKey([0; 16]), next_hop: vec![], cid_out: None },
+            CircuitEntry::new(whisper_crypto::aes::AesKey([0; 16]), vec![], None),
         );
         assert_eq!(wcl.carried_circuits(), 1);
         wcl.flush_circuits();

@@ -6,6 +6,8 @@
 //! inverses.
 
 use super::BigUint;
+use std::cell::RefCell;
+use std::rc::Rc;
 
 /// Montgomery context for a fixed odd modulus.
 ///
@@ -210,6 +212,63 @@ impl Montgomery {
     }
 }
 
+/// Capacity of the thread-local [`Montgomery`] context cache. RSA
+/// traffic concentrates on very few moduli at a time — a node's own
+/// `n`/`p`/`q` on the CRT decrypt path, a handful of peer keys on the
+/// encrypt path, and one candidate at a time during keygen — so a tiny
+/// move-to-front list covers the working set.
+const MONT_CACHE_CAP: usize = 8;
+
+/// Thread-local LRU of Montgomery contexts keyed by modulus.
+struct MontCache {
+    enabled: bool,
+    entries: Vec<Rc<Montgomery>>,
+}
+
+thread_local! {
+    static MONT_CACHE: RefCell<MontCache> =
+        const { RefCell::new(MontCache { enabled: true, entries: Vec::new() }) };
+}
+
+/// Turns the thread-local [`Montgomery`] context cache on or off (it is
+/// on by default). The A/B knob for benchmarks: with the cache off every
+/// [`BigUint::modpow`] call rebuilds its context — one full division for
+/// `R² mod m` — exactly as before the cache existed.
+///
+/// Purely a wall-clock knob: context construction performs no
+/// deterministic cost accounting (only `mont_mul` calls are charged), so
+/// traces and the crypto cost model are identical either way. Disabling
+/// also drops the cached contexts.
+pub fn set_mont_cache(enabled: bool) {
+    MONT_CACHE.with(|c| {
+        let mut c = c.borrow_mut();
+        c.enabled = enabled;
+        if !enabled {
+            c.entries.clear();
+        }
+    });
+}
+
+/// Returns a (possibly cached) Montgomery context for `modulus`,
+/// moving a hit to the front of the LRU list.
+fn cached_montgomery(modulus: &BigUint) -> Rc<Montgomery> {
+    MONT_CACHE.with(|c| {
+        let mut c = c.borrow_mut();
+        if !c.enabled {
+            return Rc::new(Montgomery::new(modulus));
+        }
+        if let Some(i) = c.entries.iter().position(|m| m.m == modulus.limbs) {
+            let hit = c.entries.remove(i);
+            c.entries.insert(0, Rc::clone(&hit));
+            return hit;
+        }
+        let fresh = Rc::new(Montgomery::new(modulus));
+        c.entries.insert(0, Rc::clone(&fresh));
+        c.entries.truncate(MONT_CACHE_CAP);
+        fresh
+    })
+}
+
 /// Window width of the fixed-window exponentiation (4 bits = hexadecimal
 /// digits). 4 is the sweet spot at 512–2048-bit exponents: width 5 would
 /// double the table cost (30 muls) for one fewer table multiply per 20
@@ -244,7 +303,11 @@ fn inv64(m: u64) -> u64 {
 impl BigUint {
     /// Computes `self^exp mod modulus`.
     ///
-    /// Uses Montgomery multiplication for odd moduli and a generic
+    /// Uses Montgomery multiplication for odd moduli — with the context
+    /// (the `R² mod m` division) served from a thread-local per-modulus
+    /// cache (see [`set_mont_cache`]), since RSA hammers the same few
+    /// moduli: CRT decrypt reuses `p` and `q` forever, and Miller–Rabin
+    /// runs many bases against one candidate — and a generic
     /// square-and-multiply with explicit reduction otherwise.
     ///
     /// # Panics
@@ -256,7 +319,7 @@ impl BigUint {
             return BigUint::zero();
         }
         if !modulus.is_even() {
-            return Montgomery::new(modulus).pow(self, exp);
+            return cached_montgomery(modulus).pow(self, exp);
         }
         // Rare in this codebase (RSA moduli and MR candidates are odd) but
         // kept for completeness.
@@ -514,5 +577,52 @@ mod tests {
     #[should_panic(expected = "odd")]
     fn montgomery_rejects_even() {
         Montgomery::new(&big(10));
+    }
+
+    #[test]
+    fn mont_cache_is_invisible_to_results_and_costs() {
+        let m = BigUint::from_limbs(vec![0xffff_ffff_ffff_ff61, 0x1234_5678_9abc_def1]);
+        let base = BigUint::from_limbs(vec![0xdead_beef, 0xcafe]);
+        let exp = BigUint::from_limbs(mix_limbs(42, 2));
+        set_mont_cache(true);
+        let before = crate::costs::snapshot();
+        let warm1 = base.modpow(&exp, &m);
+        let warm2 = base.modpow(&exp, &m); // second call hits the cache
+        let cached_cost = crate::costs::snapshot().since(before).rsa_limb_ops;
+        set_mont_cache(false);
+        let before = crate::costs::snapshot();
+        let cold1 = base.modpow(&exp, &m);
+        let cold2 = base.modpow(&exp, &m);
+        let uncached_cost = crate::costs::snapshot().since(before).rsa_limb_ops;
+        set_mont_cache(true);
+        assert_eq!(warm1, cold1);
+        assert_eq!(warm2, cold2);
+        assert_eq!(
+            cached_cost, uncached_cost,
+            "context caching must not change the deterministic cost model"
+        );
+    }
+
+    #[test]
+    fn mont_cache_evicts_beyond_capacity() {
+        set_mont_cache(true);
+        // Churn through more odd moduli than the cache holds; every result
+        // must still be correct (eviction is pure wall-clock policy).
+        for i in 0..(MONT_CACHE_CAP as u64 * 3) {
+            let m = big(1_000_003 + 2 * i); // odd
+            let got = big(7).modpow(&big(65537), &m);
+            let mut acc = BigUint::one();
+            let e = big(65537);
+            for b in (0..e.bits()).rev() {
+                acc = acc.mul(&acc).rem(&m);
+                if e.bit(b) {
+                    acc = acc.mul(&big(7)).rem(&m);
+                }
+            }
+            assert_eq!(got, acc, "modulus churn broke the cached path at {i}");
+        }
+        MONT_CACHE.with(|c| {
+            assert!(c.borrow().entries.len() <= MONT_CACHE_CAP, "LRU grew past capacity");
+        });
     }
 }

@@ -214,15 +214,69 @@ pub fn peel_layer_in_place(key: &AesKey, nonce: &CtrNonce, body: &mut [u8]) {
     Aes128::new(key).ctr_apply_in_place(nonce, body);
 }
 
+/// Peels one hop's layer off a batch of packets, expanding the key
+/// schedule **once** for the whole batch instead of once per packet —
+/// the amortization a relay gets when several packets of the same
+/// circuit are queued at one hop. Each packet carries its own nonce
+/// (they are hash-chained per packet, not per batch).
+pub fn peel_batch_in_place(key: &AesKey, packets: &mut [(CtrNonce, Vec<u8>)]) {
+    let cipher = Aes128::new(key);
+    for (nonce, body) in packets.iter_mut() {
+        cipher.ctr_apply_in_place(nonce, body);
+    }
+}
+
 /// What a hop remembers about one circuit.
-#[derive(Clone, Debug)]
+///
+/// The expanded AES key schedule is computed once at installation and
+/// cached, so every subsequent packet on the circuit peels with zero
+/// key-schedule work — the per-entry form of batched peeling (the
+/// deterministic cost model is unaffected: only CTR block work is
+/// accounted, never schedule expansion).
+#[derive(Clone)]
 pub struct CircuitEntry {
+    key: AesKey,
+    next_hop: Vec<u8>,
+    cid_out: Option<CircuitId>,
+    cipher: Aes128,
+}
+
+impl std::fmt::Debug for CircuitEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key material (nor the cached schedule).
+        f.debug_struct("CircuitEntry")
+            .field("next_hop", &self.next_hop)
+            .field("cid_out", &self.cid_out)
+            .finish()
+    }
+}
+
+impl CircuitEntry {
+    /// Builds an entry, expanding and caching the link key's schedule.
+    pub fn new(key: AesKey, next_hop: Vec<u8>, cid_out: Option<CircuitId>) -> CircuitEntry {
+        let cipher = Aes128::new(&key);
+        CircuitEntry { key, next_hop, cid_out, cipher }
+    }
+
     /// The link key packets arriving on this circuit are sealed under.
-    pub key: AesKey,
+    pub fn key(&self) -> &AesKey {
+        &self.key
+    }
+
     /// Opaque next-hop address (empty at the destination).
-    pub next_hop: Vec<u8>,
+    pub fn next_hop(&self) -> &[u8] {
+        &self.next_hop
+    }
+
     /// Outbound circuit id (`None` at the destination).
-    pub cid_out: Option<CircuitId>,
+    pub fn cid_out(&self) -> Option<CircuitId> {
+        self.cid_out
+    }
+
+    /// Strips this circuit's layer using the cached key schedule.
+    pub fn peel_in_place(&self, nonce: &CtrNonce, body: &mut [u8]) {
+        self.cipher.ctr_apply_in_place(nonce, body);
+    }
 }
 
 /// A bounded, TTL'd map of `cid_in → CircuitEntry`, with deterministic
@@ -308,7 +362,7 @@ mod tests {
     use whisper_rand::SeedableRng;
 
     fn entry(b: u8) -> CircuitEntry {
-        CircuitEntry { key: AesKey([b; 16]), next_hop: vec![b], cid_out: None }
+        CircuitEntry::new(AesKey([b; 16]), vec![b], None)
     }
 
     fn cid(b: u8) -> CircuitId {
@@ -405,6 +459,28 @@ mod tests {
     }
 
     #[test]
+    fn batch_and_cached_entry_peels_match_single() {
+        let key = AesKey([5; 16]);
+        // Batch form: one schedule expansion, N packets.
+        let mut packets: Vec<(CtrNonce, Vec<u8>)> =
+            (0..4u8).map(|i| (CtrNonce([i; 8]), vec![i; 64])).collect();
+        let mut reference = packets.clone();
+        for (nonce, body) in reference.iter_mut() {
+            peel_layer_in_place(&key, nonce, body);
+        }
+        peel_batch_in_place(&key, &mut packets);
+        assert_eq!(packets, reference);
+        // Cached-entry form: the schedule expanded at install time.
+        let entry = CircuitEntry::new(key, vec![], None);
+        let nonce = CtrNonce([7; 8]);
+        let mut via_entry = vec![9u8; 64];
+        let mut via_free = via_entry.clone();
+        entry.peel_in_place(&nonce, &mut via_entry);
+        peel_layer_in_place(&key, &nonce, &mut via_free);
+        assert_eq!(via_entry, via_free);
+    }
+
+    #[test]
     fn nonce_chain_changes_every_hop() {
         let n0 = CtrNonce([0; 8]);
         let n1 = next_nonce(&n0);
@@ -439,7 +515,7 @@ mod tests {
     fn table_lookup_hit_and_ttl_expiry() {
         let mut t = CircuitTable::new(8, 1_000);
         t.insert(0, cid(1), entry(1));
-        assert_eq!(t.lookup(999, cid(1)).map(|e| e.next_hop.clone()), Some(vec![1]));
+        assert_eq!(t.lookup(999, cid(1)).map(|e| e.next_hop().to_vec()), Some(vec![1]));
         // At exactly the expiry instant the entry is gone, and stays gone.
         assert!(t.lookup(1_000, cid(1)).is_none());
         assert!(t.lookup(0, cid(1)).is_none(), "expired entries are dropped, not revived");
@@ -466,7 +542,7 @@ mod tests {
         t.insert(50, cid(1), entry(9)); // refresh: now newest, expires at 150
         t.insert(60, cid(3), entry(3)); // evicts cid(2), the oldest
         assert!(t.lookup(70, cid(2)).is_none());
-        assert_eq!(t.lookup(140, cid(1)).map(|e| e.key.0[0]), Some(9));
+        assert_eq!(t.lookup(140, cid(1)).map(|e| e.key().0[0]), Some(9));
         assert!(t.lookup(150, cid(1)).is_none(), "refreshed expiry honored");
     }
 

@@ -48,12 +48,21 @@ pub const AES_PS_PER_BLOCK: u64 = 66_000;
 /// One unit is one inner-loop step of a CIOS Montgomery multiplication
 /// (`n²` units per `mont_mul` on an `n`-limb modulus). Calibrated against
 /// the `rsa/decrypt/384` micro-benchmark — the simulation operating point
-/// — where one CRT decrypt counts 5,193 units and measures 44–57 µs on
-/// the reference machine (8.8 ns/unit ⇒ model ≈45.7 µs). At larger
-/// moduli the per-multiplication overhead amortizes and the model
-/// overestimates (measured `rsa/decrypt/1024` ≈324 µs vs ≈868 µs
-/// modeled); a single constant cannot fit both, and the simulation size
-/// wins. Fixed by design, like [`AES_PS_PER_BLOCK`].
+/// — where one CRT decrypt counts 5,193 units and measures 33–57 µs on
+/// the reference machine across PR 7 → PR 10 runs (8.8 ns/unit ⇒ model
+/// ≈45.7 µs, inside that window). At larger moduli the
+/// per-multiplication overhead amortizes and the model overestimates
+/// (measured `rsa/decrypt/1024` ≈324 µs vs ≈868 µs modeled); a single
+/// constant cannot fit both, and the simulation size wins.
+///
+/// Re-checked for PR 10's cached Montgomery contexts
+/// ([`crate::bignum::set_mont_cache`]): the cache removes one context
+/// build (~1.4 µs, `rsa_mont_ab/mont_setup/1024` in `BENCH_pr10.json`)
+/// per `modpow`, under 1% of a decrypt — no recalibration warranted.
+/// The unit *counts* are untouched either way: `Montgomery` construction
+/// performs no cost accounting, only `mont_mul` inner-loop steps do, so
+/// the cache cannot perturb deterministic traces. Fixed by design, like
+/// [`AES_PS_PER_BLOCK`].
 pub const RSA_PS_PER_LIMB_OP: u64 = 8_800;
 
 /// A snapshot of the accumulated costs.

@@ -62,11 +62,19 @@ impl RsaKeySize {
 }
 
 /// An RSA public key `(n, e)`.
+///
+/// The canonical wire serialization (`len(n) ‖ n ‖ len(e) ‖ e`) is
+/// computed once at construction and cached, so the hot gossip paths
+/// that ship the same unchanged key on every exchange never re-serialize
+/// it — see [`wire_bytes`](Self::wire_bytes).
 #[derive(Clone, PartialEq, Eq, Hash)]
 pub struct PublicKey {
     n: BigUint,
     e: BigUint,
     k: usize, // modulus length in bytes
+    /// Cached canonical serialization; a pure function of `(n, e)`, so
+    /// the derived `PartialEq`/`Hash` stay consistent.
+    wire: Vec<u8>,
 }
 
 impl std::fmt::Debug for PublicKey {
@@ -122,7 +130,7 @@ impl KeyPair {
             // Keep p > q irrelevant: CRT formula below handles either order
             // because (m1 - m2) is computed modulo p.
             return KeyPair {
-                public: PublicKey { n, e, k: size.bytes() },
+                public: PublicKey::assemble(n, e, size.bytes()),
                 p,
                 q,
                 dp,
@@ -235,8 +243,9 @@ impl KeyPair {
         let dp = d.rem(&p1);
         let dq = d.rem(&q1);
         let qinv = q.modinv(&p)?;
+        let k = n.bits() / 8;
         Some(KeyPair {
-            public: PublicKey { k: n.bits() / 8, n, e },
+            public: PublicKey::assemble(n, e, k),
             p,
             q,
             dp,
@@ -261,6 +270,20 @@ impl KeyPair {
 }
 
 impl PublicKey {
+    /// Builds a key from its parts, computing the cached canonical wire
+    /// serialization. Every construction path funnels through here so the
+    /// cache can never disagree with a fresh encode.
+    fn assemble(n: BigUint, e: BigUint, k: usize) -> PublicKey {
+        let n_bytes = n.to_bytes_be();
+        let e_bytes = e.to_bytes_be();
+        let mut wire = Vec::with_capacity(4 + n_bytes.len() + e_bytes.len());
+        wire.extend_from_slice(&(n_bytes.len() as u16).to_be_bytes());
+        wire.extend_from_slice(&n_bytes);
+        wire.extend_from_slice(&(e_bytes.len() as u16).to_be_bytes());
+        wire.extend_from_slice(&e_bytes);
+        PublicKey { n, e, k, wire }
+    }
+
     /// Maximum plaintext size for a single [`encrypt`](Self::encrypt) call.
     pub fn max_payload(&self) -> usize {
         self.k - PAD_OVERHEAD
@@ -328,16 +351,17 @@ impl PublicKey {
     }
 
     /// Serializes the key as `len(n) ‖ n ‖ len(e) ‖ e` (two-byte
-    /// big-endian length prefixes).
+    /// big-endian length prefixes). Returns a copy of the cached blob;
+    /// use [`wire_bytes`](Self::wire_bytes) to avoid the allocation.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let n = self.n.to_bytes_be();
-        let e = self.e.to_bytes_be();
-        let mut out = Vec::with_capacity(4 + n.len() + e.len());
-        out.extend_from_slice(&(n.len() as u16).to_be_bytes());
-        out.extend_from_slice(&n);
-        out.extend_from_slice(&(e.len() as u16).to_be_bytes());
-        out.extend_from_slice(&e);
-        out
+        self.wire.clone()
+    }
+
+    /// The cached canonical serialization, borrowed. Writers embedding
+    /// the key in a wire message can copy straight from this slice
+    /// instead of re-serializing the (unchanged) key on every send.
+    pub fn wire_bytes(&self) -> &[u8] {
+        &self.wire
     }
 
     /// Parses a key serialized by [`to_bytes`](Self::to_bytes).
@@ -351,17 +375,14 @@ impl PublicKey {
         if !n.bits().is_multiple_of(8) || n.is_zero() {
             return None;
         }
-        Some(PublicKey {
-            k: n.bits() / 8,
-            n,
-            e: BigUint::from_bytes_be(e_bytes),
-        })
+        let k = n.bits() / 8;
+        Some(PublicKey::assemble(n, BigUint::from_bytes_be(e_bytes), k))
     }
 
     /// Short (8-byte) SHA-256-based fingerprint, used as a compact key
     /// identifier in view entries.
     pub fn fingerprint(&self) -> [u8; 8] {
-        let digest = Sha256::digest(&self.to_bytes());
+        let digest = Sha256::digest(&self.wire);
         let mut fp = [0u8; 8];
         fp.copy_from_slice(&digest[..8]);
         fp
@@ -464,6 +485,30 @@ mod tests {
         let parsed = PublicKey::from_bytes(&bytes).unwrap();
         assert_eq!(&parsed, kp.public());
         assert_eq!(parsed.fingerprint(), kp.public().fingerprint());
+    }
+
+    #[test]
+    fn cached_wire_blob_matches_fresh_encode() {
+        // The cached blob must equal a from-scratch serialization of
+        // (n, e) on every construction path: generate, parse, and
+        // key-pair reload.
+        fn fresh_encode(key: &PublicKey) -> Vec<u8> {
+            let n = key.n.to_bytes_be();
+            let e = key.e.to_bytes_be();
+            let mut out = Vec::with_capacity(4 + n.len() + e.len());
+            out.extend_from_slice(&(n.len() as u16).to_be_bytes());
+            out.extend_from_slice(&n);
+            out.extend_from_slice(&(e.len() as u16).to_be_bytes());
+            out.extend_from_slice(&e);
+            out
+        }
+        let kp = keypair();
+        assert_eq!(kp.public().wire_bytes(), fresh_encode(kp.public()).as_slice());
+        assert_eq!(kp.public().to_bytes(), kp.public().wire_bytes());
+        let parsed = PublicKey::from_bytes(&kp.public().to_bytes()).unwrap();
+        assert_eq!(parsed.wire_bytes(), kp.public().wire_bytes());
+        let reloaded = KeyPair::from_bytes(&kp.to_bytes()).unwrap();
+        assert_eq!(reloaded.public().wire_bytes(), kp.public().wire_bytes());
     }
 
     #[test]

@@ -35,6 +35,9 @@ impl crate::wire::WireEncode for NodeId {
     fn encode(&self, w: &mut WireWriter) {
         w.put_u64(self.0);
     }
+    fn encoded_len(&self) -> usize {
+        8
+    }
 }
 
 impl WireDecode for NodeId {
@@ -74,6 +77,9 @@ impl crate::wire::WireEncode for Endpoint {
     fn encode(&self, w: &mut WireWriter) {
         w.put_u64(self.node.0);
         w.put_u16(self.port);
+    }
+    fn encoded_len(&self) -> usize {
+        10
     }
 }
 

@@ -159,6 +159,87 @@ impl AllocTally {
     }
 }
 
+/// Per-shard hot-path profiler: wall-clock nanoseconds attributed to
+/// engine buckets, flushed into the `prof.*` counters at metric sync
+/// points. Like the `net.pool_*` family (and the `*_wall_us` samples),
+/// `prof.*` counters are host-side measurements and therefore **exempt
+/// from the determinism-trace comparison** — wall time legitimately
+/// varies with shard count, thread policy and machine load. Disabled
+/// (the default) the profiler costs one branch per event; nothing
+/// trace-visible ever depends on it either way.
+///
+/// Bucket structure (see DESIGN.md §16):
+///
+/// * `sched_ns` — event-queue peek/pop time.
+/// * `dispatch_ns` — everything from pop to dispatch return; contains
+///   `callback_ns`, and the difference is engine bookkeeping (NAT
+///   filtering, traffic accounting, effect application).
+/// * `callback_ns` — protocol callback time; contains the `encode_ns` /
+///   `decode_ns` / `crypto_model_ns` sub-buckets reported by [`Ctx`].
+#[derive(Default)]
+struct ProfTally {
+    enabled: bool,
+    sched_ns: u64,
+    dispatch_ns: u64,
+    callback_ns: u64,
+    encode_ns: u64,
+    decode_ns: u64,
+    crypto_model_ns: u64,
+    events: u64,
+}
+
+impl ProfTally {
+    fn new(enabled: bool) -> Self {
+        ProfTally { enabled, ..ProfTally::default() }
+    }
+
+    /// Drains the accumulated buckets into the exempt `prof.*` counters,
+    /// keeping the `enabled` flag.
+    fn flush(&mut self, metrics: &mut Metrics) {
+        if self.events == 0 && self.sched_ns == 0 {
+            return;
+        }
+        let engine_ns = self.dispatch_ns.saturating_sub(self.callback_ns);
+        for (name, v) in [
+            ("prof.sched_ns", self.sched_ns),
+            ("prof.engine_ns", engine_ns),
+            ("prof.callback_ns", self.callback_ns),
+            ("prof.encode_ns", self.encode_ns),
+            ("prof.decode_ns", self.decode_ns),
+            ("prof.crypto_model_ns", self.crypto_model_ns),
+            ("prof.events", self.events),
+        ] {
+            if v > 0 {
+                metrics.count(name, v);
+            }
+        }
+        *self = ProfTally::new(self.enabled);
+    }
+}
+
+/// Per-callback profiler scratch carried by [`Ctx`] (mirroring
+/// [`AllocTally`]), flushed into the shard's [`ProfTally`] after the
+/// callback returns.
+#[derive(Default)]
+struct ProfCtx {
+    enabled: bool,
+    encode_ns: u64,
+    decode_ns: u64,
+    crypto_model_ns: u64,
+}
+
+impl ProfCtx {
+    fn new(enabled: bool) -> Self {
+        ProfCtx { enabled, ..ProfCtx::default() }
+    }
+
+    fn flush(self, tally: &mut ProfTally) {
+        tally.encode_ns += self.encode_ns;
+        tally.decode_ns += self.decode_ns;
+        tally.crypto_model_ns += self.crypto_model_ns;
+    }
+}
+
 /// The execution context handed to protocol callbacks.
 pub struct Ctx<'a> {
     now: SimTime,
@@ -168,6 +249,7 @@ pub struct Ctx<'a> {
     metrics: &'a mut Metrics,
     pool: &'a mut PayloadPool,
     tally: AllocTally,
+    prof: ProfCtx,
     effects: Vec<Effect>,
 }
 
@@ -221,10 +303,21 @@ impl<'a> Ctx<'a> {
     /// Encodes `msg` into a pooled buffer without sending it. Use this
     /// for fan-out: encode once, then [`Ctx::send_to`] a clone per
     /// destination — N sends, one buffer.
+    ///
+    /// The buffer is pre-sized from [`WireEncode::encoded_len`], so the
+    /// pool serves the exact size class and the writer never reallocates
+    /// mid-encode.
     pub fn encode_payload<M: WireEncode>(&mut self, msg: &M) -> Payload {
-        let mut w = WireWriter::from_vec(self.pool.take_scratch());
+        let t0 = self.prof.enabled.then(std::time::Instant::now);
+        let len = msg.encoded_len();
+        let mut w = WireWriter::from_vec(self.pool.take(len));
         msg.encode(&mut w);
-        Payload::recycled(w.into_bytes(), self.pool.enabled())
+        debug_assert_eq!(w.len(), len, "encoded_len() disagrees with encode()");
+        let payload = Payload::recycled(w.into_bytes(), self.pool.enabled());
+        if let Some(t0) = t0 {
+            self.prof.encode_ns += t0.elapsed().as_nanos() as u64;
+        }
+        payload
     }
 
     /// Arms a one-shot timer that fires `delay` from now with `token`.
@@ -244,6 +337,36 @@ impl<'a> Ctx<'a> {
     /// into the global sink at run boundaries).
     pub fn metrics(&mut self) -> &mut Metrics {
         self.metrics
+    }
+
+    /// Whether the hot-path profiler is on
+    /// ([`SimConfig::with_profiling`]). Protocols can use this to skip
+    /// assembling expensive diagnostic values when nobody is measuring.
+    pub fn prof_enabled(&self) -> bool {
+        self.prof.enabled
+    }
+
+    /// Runs `f` and attributes its wall time to the protocol-decode
+    /// profiler bucket (`prof.decode_ns`). A no-op wrapper when the
+    /// profiler is off. The closure's *result* must not feed back into
+    /// protocol behaviour differently depending on profiling — only
+    /// timing is recorded, so this is trivially true for pure decoding.
+    pub fn prof_decode<R>(&mut self, f: impl FnOnce() -> R) -> R {
+        let t0 = self.prof.enabled.then(std::time::Instant::now);
+        let r = f();
+        if let Some(t0) = t0 {
+            self.prof.decode_ns += t0.elapsed().as_nanos() as u64;
+        }
+        r
+    }
+
+    /// Attributes `ns` wall nanoseconds to the crypto cost-model bucket
+    /// (`prof.crypto_model_ns`) — the time spent *computing* deterministic
+    /// crypto charges, as opposed to the simulated time they add.
+    pub fn prof_crypto_model_ns(&mut self, ns: u64) {
+        if self.prof.enabled {
+            self.prof.crypto_model_ns += ns;
+        }
     }
 }
 
@@ -332,6 +455,13 @@ pub struct SimConfig {
     /// queue-bucket and exchange capacity at build time (0 = no
     /// pre-reservation). Purely a performance knob.
     pub expected_nodes: usize,
+    /// Whether the hot-path profiler is on (default `false`): wall-clock
+    /// time per event is attributed to scheduler / engine / callback /
+    /// encode / decode / crypto-model buckets and flushed into the
+    /// `prof.*` counters, which — like `net.pool_*` — are exempt from
+    /// the determinism-trace comparison. Traces are byte-identical with
+    /// profiling on or off.
+    pub profiling: bool,
 }
 
 impl SimConfig {
@@ -346,6 +476,7 @@ impl SimConfig {
             pooling: true,
             scheduler: Scheduler::Wheel,
             expected_nodes: 0,
+            profiling: false,
         }
     }
 
@@ -360,6 +491,7 @@ impl SimConfig {
             pooling: true,
             scheduler: Scheduler::Wheel,
             expected_nodes: 0,
+            profiling: false,
         }
     }
 
@@ -374,6 +506,7 @@ impl SimConfig {
             pooling: true,
             scheduler: Scheduler::Wheel,
             expected_nodes: 0,
+            profiling: false,
         }
     }
 
@@ -410,6 +543,13 @@ impl SimConfig {
     /// pre-reservation (see [`SimConfig::expected_nodes`]).
     pub fn with_expected_nodes(mut self, nodes: usize) -> Self {
         self.expected_nodes = nodes;
+        self
+    }
+
+    /// Returns the config with the hot-path profiler on or off (see
+    /// [`SimConfig::profiling`]).
+    pub fn with_profiling(mut self, profiling: bool) -> Self {
+        self.profiling = profiling;
         self
     }
 }
@@ -476,6 +616,9 @@ struct Shard {
     /// Shard-local payload buffer pool; delivered buffers are recycled
     /// here and handed back out by [`Ctx::send_wire`].
     pool: PayloadPool,
+    /// Hot-path profiler buckets, drained into the exempt `prof.*`
+    /// counters at metric sync points.
+    prof: ProfTally,
     /// Per-destination-shard outboxes for cross-shard sends, swapped
     /// wholesale at window barriers (entry `index` is unused).
     outboxes: Vec<Vec<Event>>,
@@ -511,6 +654,7 @@ impl Shard {
             traffic_dirty: Vec::new(),
             metrics: Metrics::new(),
             pool: PayloadPool::new(cfg.pooling),
+            prof: ProfTally::new(cfg.profiling),
             outboxes: (0..cfg.shards).map(|_| Vec::new()).collect(),
             in_flight: 0,
             live: 0,
@@ -557,17 +701,31 @@ impl Shard {
     /// Processes every queued event with `at < horizon_us`. Events for
     /// other shards are appended to the per-destination `outboxes`.
     fn run_window(&mut self, horizon_us: u64, env: &EngineEnv<'_>) {
-        while let Some(key) = self.queue.peek_key() {
+        let profiling = self.prof.enabled;
+        loop {
+            let t_sched = profiling.then(std::time::Instant::now);
+            let Some(key) = self.queue.peek_key() else { break };
             if key.0 >= horizon_us {
+                if let Some(t0) = t_sched {
+                    self.prof.sched_ns += t0.elapsed().as_nanos() as u64;
+                }
                 break;
             }
             let ev = self.queue.pop().expect("peeked");
+            if let Some(t0) = t_sched {
+                self.prof.sched_ns += t0.elapsed().as_nanos() as u64;
+            }
             if matches!(ev.kind, EventKind::Deliver { .. }) {
                 self.in_flight -= 1;
             }
             self.now = ev.at;
             self.metrics.set_tag(Some(key));
+            let t_disp = profiling.then(std::time::Instant::now);
             self.dispatch(ev, env);
+            if let Some(t0) = t_disp {
+                self.prof.dispatch_ns += t0.elapsed().as_nanos() as u64;
+                self.prof.events += 1;
+            }
         }
         self.metrics.set_tag(None);
     }
@@ -696,7 +854,7 @@ impl Shard {
     ) {
         let now = self.now;
         let effects = {
-            let Shard { slots, metrics, pool, .. } = self;
+            let Shard { slots, metrics, pool, prof, .. } = self;
             let slot = &mut slots[pos];
             let Some(mut proto) = slot.proto.take() else { return };
             let mut ctx = Ctx {
@@ -707,11 +865,17 @@ impl Shard {
                 metrics,
                 pool,
                 tally: AllocTally::default(),
+                prof: ProfCtx::new(prof.enabled),
                 effects: Vec::new(),
             };
+            let t_cb = prof.enabled.then(std::time::Instant::now);
             f(proto.as_mut(), &mut ctx);
+            if let Some(t0) = t_cb {
+                prof.callback_ns += t0.elapsed().as_nanos() as u64;
+            }
             let effects = std::mem::take(&mut ctx.effects);
             std::mem::take(&mut ctx.tally).flush(ctx.metrics);
+            std::mem::take(&mut ctx.prof).flush(prof);
             slot.proto = Some(proto);
             effects
         };
@@ -1174,7 +1338,7 @@ impl Sim {
             let shard = &mut shards[si];
             let Some(pos) = shard.slot_pos(id) else { return false };
             shard.now = now;
-            let Shard { slots, pool, .. } = shard;
+            let Shard { slots, pool, prof, .. } = shard;
             let slot = &mut slots[pos];
             if slot.down_until.is_some() {
                 return false; // a crashed node cannot run callbacks
@@ -1188,6 +1352,7 @@ impl Sim {
                 metrics,
                 pool,
                 tally: AllocTally::default(),
+                prof: ProfCtx::new(prof.enabled),
                 effects: Vec::new(),
             };
             let applied = if let Some(t) = proto.as_any_mut().downcast_mut::<T>() {
@@ -1198,6 +1363,7 @@ impl Sim {
             };
             let effects = std::mem::take(&mut ctx.effects);
             std::mem::take(&mut ctx.tally).flush(ctx.metrics);
+            std::mem::take(&mut ctx.prof).flush(prof);
             slot.proto = Some(proto);
             shard.apply_effects(pos, effects, &env);
             applied
@@ -1390,6 +1556,7 @@ impl Sim {
                         s.metrics.count(name, v);
                     }
                 }
+                s.prof.flush(&mut s.metrics);
                 // Fold the dense per-slot traffic deltas into the shard
                 // sink (dirty positions only, then reset — the master map
                 // merge below reconstructs per-node totals).
@@ -1603,7 +1770,10 @@ mod tests {
     #[test]
     fn sharded_run_matches_single_shard() {
         fn run(shards: usize, threads: bool) -> (Vec<(&'static str, u64)>, Vec<u64>) {
-            let cfg = SimConfig::cluster(21).with_shards(shards).with_threads(threads);
+            let cfg = SimConfig::cluster(21)
+                .with_shards(shards)
+                .with_threads(threads)
+                .with_profiling(true);
             let mut sim = Sim::new(cfg);
             let hub = sim.add_node(Box::new(Pinger::new()), NatType::Public);
             for _ in 0..7 {
@@ -1614,12 +1784,14 @@ mod tests {
             }
             sim.run_for_secs(10);
             // Pool hit/miss statistics are shard-local by design (a
-            // buffer freed on shard i is only reusable there) and are the
-            // one counter family exempt from shard invariance.
+            // buffer freed on shard i is only reusable there) and the
+            // profiler buckets are wall-clock measurements; both families
+            // are exempt from shard invariance (profiling is ON here to
+            // prove everything else stays byte-identical).
             let counters = sim
                 .metrics()
                 .counter_names()
-                .filter(|n| !n.starts_with("net.pool_"))
+                .filter(|n| !n.starts_with("net.pool_") && !n.starts_with("prof."))
                 .map(|n| (n, sim.metrics().counter(n)))
                 .collect();
             let traffic = sim
@@ -1636,5 +1808,33 @@ mod tests {
         assert_eq!(base, run(2, false), "2 shards, sequential");
         assert_eq!(base, run(4, false), "4 shards, sequential");
         assert_eq!(base, run(4, true), "4 shards, threaded");
+    }
+
+    /// Profiling populates the `prof.*` buckets; leaving it off (the
+    /// default) emits none of them.
+    #[test]
+    fn profiler_buckets_accumulate_only_when_enabled() {
+        fn run(profiling: bool) -> Vec<(&'static str, u64)> {
+            let mut sim = Sim::new(SimConfig::cluster(33).with_profiling(profiling));
+            let hub = sim.add_node(Box::new(Pinger::new()), NatType::Public);
+            let mut p = Pinger::new();
+            p.target = Some(Endpoint::public(hub));
+            p.periodic = true;
+            sim.add_node(Box::new(p), NatType::Public);
+            sim.run_for_secs(5);
+            sim.metrics()
+                .counter_names()
+                .filter(|n| n.starts_with("prof."))
+                .map(|n| (n, sim.metrics().counter(n)))
+                .collect()
+        }
+        assert!(run(false).is_empty(), "profiler off must emit no prof.* counters");
+        let on = run(true);
+        let get = |name: &str| on.iter().find(|(n, _)| *n == name).map_or(0, |(_, v)| *v);
+        assert!(get("prof.events") > 0, "events dispatched under the profiler");
+        assert!(get("prof.sched_ns") > 0, "scheduler bucket populated");
+        // dispatch time contains the callback time, so the derived
+        // engine bucket plus callbacks can never exceed dispatch totals.
+        assert!(get("prof.callback_ns") > 0, "callback bucket populated");
     }
 }

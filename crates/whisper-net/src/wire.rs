@@ -55,6 +55,12 @@ impl WireWriter {
         WireWriter { buf: Vec::new() }
     }
 
+    /// Creates an empty writer pre-sized for `capacity` bytes — pair with
+    /// [`WireEncode::encoded_len`] to serialize without reallocation.
+    pub fn with_capacity(capacity: usize) -> Self {
+        WireWriter { buf: Vec::with_capacity(capacity) }
+    }
+
     /// Creates a writer backed by `buf`, clearing any existing contents
     /// but keeping its capacity — the hook that lets pooled payload
     /// buffers back wire encodes without reallocating.
@@ -238,18 +244,48 @@ impl<'a> WireReader<'a> {
     }
 }
 
+/// Exact wire size of a length-prefixed byte string
+/// ([`WireWriter::put_bytes`]).
+pub const fn bytes_len(v: &[u8]) -> usize {
+    4 + v.len()
+}
+
+/// Exact wire size of a length-prefixed sequence
+/// ([`WireWriter::put_seq`]).
+pub fn seq_len<T: WireEncode>(items: &[T]) -> usize {
+    4 + items.iter().map(T::encoded_len).sum::<usize>()
+}
+
+/// Exact wire size of an optional value ([`WireWriter::put_opt`]).
+pub fn opt_len<T: WireEncode>(v: &Option<T>) -> usize {
+    1 + v.as_ref().map_or(0, T::encoded_len)
+}
+
 /// Types serializable with the wire codec.
 pub trait WireEncode {
     /// Appends this value to `w`.
     fn encode(&self, w: &mut WireWriter);
 
-    /// Convenience: serializes into a fresh buffer.
+    /// Exact number of bytes [`WireEncode::encode`] will append — the
+    /// contract every implementation must uphold so writers can pre-size
+    /// buffers precisely (checked by a debug assertion in
+    /// [`WireEncode::to_wire`] and the engine's pooled encode path). The
+    /// helpers [`bytes_len`], [`seq_len`] and [`opt_len`] mirror the
+    /// variable-length writer methods.
+    fn encoded_len(&self) -> usize;
+
+    /// Convenience: serializes into a fresh, exactly-sized buffer.
     fn to_wire(&self) -> Vec<u8>
     where
         Self: Sized,
     {
-        let mut w = WireWriter::new();
+        let mut w = WireWriter::with_capacity(self.encoded_len());
         self.encode(&mut w);
+        debug_assert_eq!(
+            w.len(),
+            self.encoded_len(),
+            "encoded_len() disagrees with encode()"
+        );
         w.into_bytes()
     }
 }
@@ -274,6 +310,9 @@ macro_rules! impl_wire_uint {
             fn encode(&self, w: &mut WireWriter) {
                 w.$put(*self);
             }
+            fn encoded_len(&self) -> usize {
+                std::mem::size_of::<$ty>()
+            }
         }
         impl WireDecode for $ty {
             fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
@@ -292,6 +331,9 @@ impl WireEncode for Vec<u8> {
     fn encode(&self, w: &mut WireWriter) {
         w.put_bytes(self);
     }
+    fn encoded_len(&self) -> usize {
+        bytes_len(self)
+    }
 }
 
 impl WireDecode for Vec<u8> {
@@ -303,6 +345,9 @@ impl WireDecode for Vec<u8> {
 impl WireEncode for bool {
     fn encode(&self, w: &mut WireWriter) {
         w.put_u8(*self as u8);
+    }
+    fn encoded_len(&self) -> usize {
+        1
     }
 }
 
@@ -413,6 +458,18 @@ mod tests {
         assert!(!r.take::<bool>().unwrap());
         let mut bad = WireReader::new(&[9]);
         assert!(bad.take::<bool>().is_err());
+    }
+
+    #[test]
+    fn to_wire_is_exactly_sized() {
+        let v: Vec<u8> = vec![1, 2, 3];
+        let buf = v.to_wire();
+        assert_eq!(buf.len(), v.encoded_len());
+        assert_eq!(buf.capacity(), v.encoded_len(), "pre-sized, no reallocation");
+        assert_eq!(bytes_len(b"abc"), 7);
+        assert_eq!(seq_len(&[1u32, 2, 3]), 4 + 12);
+        assert_eq!(opt_len(&Some(7u64)), 9);
+        assert_eq!(opt_len::<u64>(&None), 1);
     }
 
     #[test]

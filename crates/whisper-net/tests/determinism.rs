@@ -97,12 +97,16 @@ fn run_trace_scheduled(
     pooling: bool,
     sched: Scheduler,
 ) -> Vec<u8> {
+    // Profiling stays ON for the whole matrix: the wall-clock buckets it
+    // gathers land only in the exempt `prof.*` counters, so the trace must
+    // not change with the profiler running (DESIGN.md §16).
     let mut sim = Sim::new(
         SimConfig::planetlab(seed)
             .with_shards(shards)
             .with_threads(threaded)
             .with_pooling(pooling)
-            .with_scheduler(sched),
+            .with_scheduler(sched)
+            .with_profiling(true),
     );
     let peers: Vec<NodeId> = (0..16).map(NodeId).collect();
     for _ in 0..16u64 {
@@ -255,7 +259,7 @@ fn run_stack_trace_sharded(seed: u64, shards: usize) -> Vec<u8> {
     let cfg = WhisperConfig::default();
     assert!(cfg.wcl.circuits, "circuit amortization is on by default");
     let mut keyrng = StdRng::seed_from_u64(seed);
-    let mut sim = Sim::new(SimConfig::cluster(seed).with_shards(shards));
+    let mut sim = Sim::new(SimConfig::cluster(seed).with_shards(shards).with_profiling(true));
     let mk = |boot: bool, keyrng: &mut StdRng| {
         let mut node = WhisperNode::new(cfg.clone(), KeyPair::generate(cfg.nylon.rsa, keyrng));
         if !boot {
@@ -295,8 +299,12 @@ fn run_stack_trace_sharded(seed: u64, shards: usize) -> Vec<u8> {
     let mut out = Vec::new();
     // `net.pool_*` hit/miss statistics are shard-local by construction (a
     // buffer freed on shard i is only reusable there) and exempt from the
-    // contract, exactly like the `*_wall_us` samples. DESIGN.md §13.
-    for name in metrics.counter_names().filter(|n| !n.starts_with("net.pool_")) {
+    // contract, exactly like the `*_wall_us` samples and the wall-clock
+    // `prof.*` profiler buckets. DESIGN.md §13, §16.
+    for name in metrics
+        .counter_names()
+        .filter(|n| !n.starts_with("net.pool_") && !n.starts_with("prof."))
+    {
         out.extend_from_slice(name.as_bytes());
         out.extend_from_slice(&metrics.counter(name).to_le_bytes());
     }
@@ -397,8 +405,12 @@ fn run_fault_trace_sharded(seed: u64, shards: usize) -> Vec<u8> {
         out.extend_from_slice(&chatter.trace);
     }
     let metrics = sim.metrics();
-    // Same `net.pool_*` exemption as the full-stack trace (DESIGN.md §13).
-    for name in metrics.counter_names().filter(|n| !n.starts_with("net.pool_")) {
+    // Same `net.pool_*` / `prof.*` exemptions as the full-stack trace
+    // (DESIGN.md §13, §16).
+    for name in metrics
+        .counter_names()
+        .filter(|n| !n.starts_with("net.pool_") && !n.starts_with("prof."))
+    {
         out.extend_from_slice(name.as_bytes());
         out.extend_from_slice(&metrics.counter(name).to_le_bytes());
     }

@@ -41,6 +41,9 @@ impl WireEncode for DescriptorBlob {
         w.put_u64(self.version);
         w.put_bytes(&self.bytes);
     }
+    fn encoded_len(&self) -> usize {
+        24 + whisper_net::wire::bytes_len(&self.bytes)
+    }
 }
 
 impl WireDecode for DescriptorBlob {

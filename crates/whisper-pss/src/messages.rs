@@ -6,7 +6,9 @@
 
 use crate::descriptors::DescriptorBlob;
 use crate::view::ViewEntry;
-use whisper_net::wire::{WireDecode, WireEncode, WireError, WireReader, WireWriter};
+use whisper_net::wire::{
+    bytes_len, opt_len, seq_len, WireDecode, WireEncode, WireError, WireReader, WireWriter,
+};
 use whisper_net::{Endpoint, NodeId};
 
 /// A Nylon-layer message.
@@ -190,6 +192,27 @@ impl WireEncode for NylonMsg {
                 w.put(from);
                 w.put_bytes(payload);
             }
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        match self {
+            NylonMsg::GossipReq { entries, key, descs, .. }
+            | NylonMsg::GossipResp { entries, key, descs, .. } => {
+                1 + 8 + 1 + seq_len(entries) + opt_len(key) + seq_len(descs)
+            }
+            NylonMsg::Relayed { remaining, path_back, inner, .. } => {
+                1 + 8 + seq_len(remaining) + seq_len(path_back) + bytes_len(inner)
+            }
+            NylonMsg::OpenReq { requester_ep, remaining, path_back, .. } => {
+                1 + 8 + opt_len(requester_ep) + seq_len(remaining) + seq_len(path_back)
+            }
+            NylonMsg::OpenAck { target_ep, remaining, .. } => {
+                1 + 8 + opt_len(target_ep) + seq_len(remaining)
+            }
+            NylonMsg::Punch { .. } | NylonMsg::PunchAck { .. } => 1 + 8,
+            NylonMsg::Ping { key, .. } | NylonMsg::Pong { key, .. } => 1 + 8 + opt_len(key),
+            NylonMsg::App { payload, .. } => 1 + 8 + bytes_len(payload),
         }
     }
 }

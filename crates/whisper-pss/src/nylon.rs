@@ -306,7 +306,7 @@ impl NylonCore {
         from_ep: Endpoint,
         data: &[u8],
     ) -> Vec<NylonEvent> {
-        let Ok(msg) = NylonMsg::from_wire(data) else {
+        let Ok(msg) = ctx.prof_decode(|| NylonMsg::from_wire(data)) else {
             ctx.metrics().count("pss.malformed", 1);
             return Vec::new();
         };

@@ -27,6 +27,10 @@ impl WireEncode for ViewEntry {
         w.put(&self.public);
         w.put_seq(&self.route);
     }
+
+    fn encoded_len(&self) -> usize {
+        8 + 2 + 1 + whisper_net::wire::seq_len(&self.route)
+    }
 }
 
 impl WireDecode for ViewEntry {

@@ -4,9 +4,10 @@
 //! Written against `whisper_rand::check`: seeded case generation with
 //! shrink-on-failure reporting.
 
-use whisper_net::wire::WireDecode;
-use whisper_net::NodeId;
+use whisper_net::wire::{WireDecode, WireEncode};
+use whisper_net::{Endpoint, NodeId};
 use whisper_pss::backlog::{CbEntry, ConnectionBacklog};
+use whisper_pss::descriptors::DescriptorBlob;
 use whisper_pss::messages::NylonMsg;
 use whisper_pss::view::{View, ViewEntry};
 use whisper_rand::check::{check, Gen};
@@ -139,5 +140,99 @@ fn view_entry_decode_never_panics() {
     check(128, "view_entry_decode_never_panics", |g| {
         let bytes = g.bytes(99);
         let _ = ViewEntry::from_wire(&bytes);
+    });
+}
+
+fn gen_blob(g: &mut Gen) -> DescriptorBlob {
+    DescriptorBlob {
+        id: ((g.gen::<u64>() as u128) << 64) | g.gen::<u64>() as u128,
+        version: g.gen(),
+        bytes: g.bytes(40),
+    }
+}
+
+fn gen_endpoint(g: &mut Gen) -> Endpoint {
+    Endpoint { node: NodeId(g.gen_range(0..40u64)), port: g.gen() }
+}
+
+fn gen_opt<T>(g: &mut Gen, f: impl FnOnce(&mut Gen) -> T) -> Option<T> {
+    g.gen::<bool>().then(|| f(g))
+}
+
+/// An arbitrary [`NylonMsg`], uniformly across all ten variants.
+fn gen_msg(g: &mut Gen) -> NylonMsg {
+    let gen_path = |g: &mut Gen| g.vec(4, |g| NodeId(g.gen_range(0..40u64)));
+    match g.gen_range(0..10u8) {
+        0 => NylonMsg::GossipReq {
+            sender: NodeId(g.gen_range(0..40u64)),
+            sender_public: g.gen(),
+            entries: g.vec(6, gen_entry),
+            key: gen_opt(g, |g| g.bytes(60)),
+            descs: g.vec(3, gen_blob),
+        },
+        1 => NylonMsg::GossipResp {
+            sender: NodeId(g.gen_range(0..40u64)),
+            sender_public: g.gen(),
+            entries: g.vec(6, gen_entry),
+            key: gen_opt(g, |g| g.bytes(60)),
+            descs: g.vec(3, gen_blob),
+        },
+        2 => NylonMsg::Relayed {
+            from: NodeId(g.gen_range(0..40u64)),
+            remaining: gen_path(g),
+            path_back: gen_path(g),
+            inner: g.bytes(80),
+        },
+        3 => NylonMsg::OpenReq {
+            requester: NodeId(g.gen_range(0..40u64)),
+            requester_ep: gen_opt(g, gen_endpoint),
+            remaining: gen_path(g),
+            path_back: gen_path(g),
+        },
+        4 => NylonMsg::OpenAck {
+            target: NodeId(g.gen_range(0..40u64)),
+            target_ep: gen_opt(g, gen_endpoint),
+            remaining: gen_path(g),
+        },
+        5 => NylonMsg::Punch { from: NodeId(g.gen_range(0..40u64)) },
+        6 => NylonMsg::PunchAck { from: NodeId(g.gen_range(0..40u64)) },
+        7 => NylonMsg::Ping { from: NodeId(g.gen_range(0..40u64)), key: gen_opt(g, |g| g.bytes(60)) },
+        8 => NylonMsg::Pong { from: NodeId(g.gen_range(0..40u64)), key: gen_opt(g, |g| g.bytes(60)) },
+        _ => NylonMsg::App { from: NodeId(g.gen_range(0..40u64)), payload: g.bytes(120) },
+    }
+}
+
+/// Every message round-trips through the codec, and `encoded_len()` —
+/// the serialization fast path's exact pre-sizing contract (DESIGN.md
+/// §16) — agrees byte-for-byte with what `encode()` actually writes.
+#[test]
+fn nylon_msg_round_trip_and_exact_len() {
+    check(256, "nylon_msg_round_trip_and_exact_len", |g| {
+        let msg = gen_msg(g);
+        let bytes = msg.to_wire();
+        assert_eq!(bytes.len(), msg.encoded_len(), "encoded_len mismatch for {msg:?}");
+        assert_eq!(NylonMsg::from_wire(&bytes).unwrap(), msg);
+    });
+}
+
+/// [`ViewEntry`] round-trips with an exact `encoded_len()`.
+#[test]
+fn view_entry_round_trip_and_exact_len() {
+    check(128, "view_entry_round_trip_and_exact_len", |g| {
+        let entry = gen_entry(g);
+        let bytes = entry.to_wire();
+        assert_eq!(bytes.len(), entry.encoded_len());
+        assert_eq!(ViewEntry::from_wire(&bytes).unwrap(), entry);
+    });
+}
+
+/// [`DescriptorBlob`] round-trips with an exact `encoded_len()`.
+#[test]
+fn descriptor_blob_round_trip_and_exact_len() {
+    check(128, "descriptor_blob_round_trip_and_exact_len", |g| {
+        let blob = gen_blob(g);
+        let bytes = blob.to_wire();
+        assert_eq!(bytes.len(), blob.encoded_len());
+        assert_eq!(DescriptorBlob::from_wire(&bytes).unwrap(), blob);
     });
 }

@@ -39,7 +39,7 @@ step "rustdoc builds clean (no warnings; whisper-net denies missing docs)"
 # rustdoc lint classes (broken intra-doc links etc.) workspace-wide.
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace --quiet
 
-step "scheduler/shard-matrix determinism (release: byte-identical traces, heap vs wheel x 1/2/4 shards, pool on+off)"
+step "scheduler/shard-matrix determinism (release: byte-identical traces, heap vs wheel x 1/2/4 shards, pool on+off, profiler on)"
 cargo test -q --release --offline -p whisper-net --test determinism
 
 step "chaos acceptance suite (384 + 1k-node/4-shard, release, fixed seed matrix)"
@@ -53,6 +53,12 @@ WHISPER_BENCH_JSON=BENCH_pr9.json cargo run -q --release --offline -p whisper-be
 
 step "engine scale-out smoke (nodes-per-second, quick sweep)"
 cargo run -q --release --offline -p whisper-bench --bin fig5_biased_pss -- --scale --quick | grep '^scaling:'
+
+step "allocation-regression gate (10k-node pooled cell must stay <= 0.2 allocs/send)"
+# Steady-state allocs/send with the payload pool is ~0.1 (DESIGN.md §13/§16);
+# the 0.2 gate catches any change that silently re-introduces per-send heap
+# allocation on the hot path without flaking on startup-phase noise.
+cargo run -q --release --offline -p whisper-bench --bin fig5_biased_pss -- --scale --quick --nodes 10000 --shards 1 --max-allocs-per-send 0.2 | grep '^scaling:'
 
 step "100k-node smoke (release, single cell, pooled hot path)"
 cargo run -q --release --offline -p whisper-bench --bin fig5_biased_pss -- --scale --quick --nodes 100000 --shards 4 | grep '^scaling:'
